@@ -1,0 +1,220 @@
+// Benchmarks regenerating the paper's tables and figures (one per table and
+// figure, per DESIGN.md's experiment index), plus ablations and predictor
+// micro-benchmarks.
+//
+// Each experiment benchmark runs its full pipeline at a reduced instruction
+// budget so `go test -bench=.` stays tractable; custom metrics report the
+// headline numbers (mean misprediction %, harmonic-mean IPC). The
+// full-resolution results in EXPERIMENTS.md come from `cmd/reproduce`,
+// which runs the same code at 8M instructions per benchmark.
+package branchsim_test
+
+import (
+	"testing"
+
+	"branchsim"
+)
+
+// benchOpts scales experiments down for benchmarking.
+var benchOpts = branchsim.ExperimentOptions{Insts: 400_000, Warmup: 100_000}
+
+// runExperiment executes one registered experiment b.N times.
+func runExperiment(b *testing.B, id string) *branchsim.Experiment {
+	b.Helper()
+	var out *branchsim.Experiment
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = branchsim.RunExperiment(id, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return out
+}
+
+// reportCell publishes one result cell as a benchmark metric.
+func reportCell(b *testing.B, out *branchsim.Experiment, tablePrefix string, row, col int, metric string) {
+	b.Helper()
+	tab := out.Table(tablePrefix)
+	if tab == nil {
+		b.Fatalf("table %q missing", tablePrefix)
+	}
+	if row < 0 {
+		row = len(tab.Rows) + row
+	}
+	b.ReportMetric(tab.Values[row][col], metric)
+}
+
+// BenchmarkFigure1 regenerates Figure 1: mean misprediction vs budget for
+// gshare, bi-mode, multi-component and perceptron (2KB-512KB).
+func BenchmarkFigure1(b *testing.B) {
+	out := runExperiment(b, "figure1")
+	reportCell(b, out, "Figure 1", -1, 3, "perceptron@512K-misp%")
+	reportCell(b, out, "Figure 1", -1, 0, "gshare@512K-misp%")
+}
+
+// BenchmarkTable2 regenerates Table 2: predictor access latencies from the
+// delay model.
+func BenchmarkTable2(b *testing.B) {
+	out := runExperiment(b, "table2")
+	reportCell(b, out, "Table 2", -1, 2, "perceptron@512K-cycles")
+}
+
+// BenchmarkFigure2 regenerates Figure 2: ideal vs realistic IPC for the
+// perceptron and multi-component predictors.
+func BenchmarkFigure2(b *testing.B) {
+	out := runExperiment(b, "figure2")
+	reportCell(b, out, "Figure 2 (ideal)", -1, 0, "perceptron@512K-ideal-IPC")
+	reportCell(b, out, "Figure 2 (realistic)", -1, 0, "perceptron@512K-real-IPC")
+}
+
+// BenchmarkFigure5 regenerates Figure 5: mean misprediction for the complex
+// predictors and gshare.fast, 16KB-512KB.
+func BenchmarkFigure5(b *testing.B) {
+	out := runExperiment(b, "figure5")
+	reportCell(b, out, "Figure 5", -1, 3, "gshare.fast@512K-misp%")
+	reportCell(b, out, "Figure 5", -1, 2, "perceptron@512K-misp%")
+}
+
+// BenchmarkFigure6 regenerates Figure 6: per-benchmark misprediction rates
+// at the 53-64KB design point.
+func BenchmarkFigure6(b *testing.B) {
+	out := runExperiment(b, "figure6")
+	reportCell(b, out, "Figure 6", -1, 3, "gshare.fast-mean-misp%")
+}
+
+// BenchmarkFigure7 regenerates Figure 7: harmonic-mean IPC with 1-cycle and
+// overriding prediction across budgets.
+func BenchmarkFigure7(b *testing.B) {
+	out := runExperiment(b, "figure7")
+	reportCell(b, out, "Figure 7 (right)", -1, 3, "gshare.fast@512K-IPC")
+	reportCell(b, out, "Figure 7 (right)", -1, 2, "perceptron@512K-IPC")
+}
+
+// BenchmarkFigure8 regenerates Figure 8: per-benchmark IPC at the 53-64KB
+// design point under overriding timing.
+func BenchmarkFigure8(b *testing.B) {
+	out := runExperiment(b, "figure8")
+	reportCell(b, out, "Figure 8", -1, 3, "gshare.fast-hmean-IPC")
+}
+
+// BenchmarkDelayedUpdate regenerates the §3.2 delayed-PHT-update ablation.
+func BenchmarkDelayedUpdate(b *testing.B) {
+	out := runExperiment(b, "delayedupdate")
+	reportCell(b, out, "Delayed PHT update", 0, 0, "lag0-misp%")
+	reportCell(b, out, "Delayed PHT update", 2, 0, "lag64-misp%")
+}
+
+// BenchmarkOverrideRate regenerates the §4.5 override-rate accounting.
+func BenchmarkOverrideRate(b *testing.B) {
+	out := runExperiment(b, "overriderate")
+	reportCell(b, out, "Override rates", -1, 2, "perceptron-mean-override%")
+}
+
+// BenchmarkMultiBranch regenerates the §3.3.1 multiple-branch experiment.
+func BenchmarkMultiBranch(b *testing.B) {
+	out := runExperiment(b, "multibranch")
+	reportCell(b, out, "Multiple-branch", 0, 0, "b1-misp%")
+	reportCell(b, out, "Multiple-branch", 3, 0, "b8-misp%")
+}
+
+// BenchmarkBufferSweep runs the PHT-buffer-split ablation.
+func BenchmarkBufferSweep(b *testing.B) {
+	runExperiment(b, "buffersweep")
+}
+
+// BenchmarkQuickSweep runs the quick-predictor-size ablation.
+func BenchmarkQuickSweep(b *testing.B) {
+	runExperiment(b, "quicksweep")
+}
+
+// BenchmarkDepthSweep runs the pipeline-depth ablation.
+func BenchmarkDepthSweep(b *testing.B) {
+	out := runExperiment(b, "depthsweep")
+	reportCell(b, out, "Pipeline depth", -1, 0, "depth40-gshare.fast-IPC")
+}
+
+// --- Predictor micro-benchmarks: cost per predict+update. ---
+
+func benchPredictor(b *testing.B, p branchsim.Predictor) {
+	b.Helper()
+	bench, _ := branchsim.BenchmarkByName("gzip")
+	w := branchsim.NewWorkload(bench)
+	var inst branchsim.Inst
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		if !w.Next(&inst) {
+			b.Fatal("stream ended")
+		}
+		if !inst.IsBranch() {
+			continue
+		}
+		pred := p.Predict(inst.PC)
+		p.Update(inst.PC, inst.Taken)
+		_ = pred
+		n++
+	}
+}
+
+func BenchmarkPredictGShare(b *testing.B) {
+	benchPredictor(b, branchsim.NewGShare(64<<10))
+}
+
+func BenchmarkPredictGShareFast(b *testing.B) {
+	benchPredictor(b, branchsim.NewGShareFast(64<<10))
+}
+
+func BenchmarkPredictPerceptron(b *testing.B) {
+	benchPredictor(b, branchsim.NewPerceptron(64<<10))
+}
+
+func BenchmarkPredictMultiComponent(b *testing.B) {
+	benchPredictor(b, branchsim.NewMultiComponent(64<<10))
+}
+
+func BenchmarkPredict2BcGskew(b *testing.B) {
+	benchPredictor(b, branchsim.NewGSkew2Bc(64<<10))
+}
+
+// BenchmarkWorkloadGeneration measures raw trace-generation throughput.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	w := branchsim.NewWorkload(bench)
+	var inst branchsim.Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Next(&inst)
+	}
+}
+
+// BenchmarkPipelineSimulation measures timing-simulator throughput
+// (instructions per op).
+func BenchmarkPipelineSimulation(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("eon")
+	for i := 0; i < b.N; i++ {
+		pred := branchsim.NewGShareFast(64 << 10)
+		branchsim.RunTiming(branchsim.DefaultMachine(), pred, branchsim.NewWorkload(bench), 100_000, 0)
+	}
+}
+
+// BenchmarkFastFamily runs the §5 pipelined-family study.
+func BenchmarkFastFamily(b *testing.B) {
+	out := runExperiment(b, "fastfamily")
+	reportCell(b, out, "Pipelined predictor family", 1, 1, "bimode.fast-IPC")
+}
+
+func BenchmarkPredictBiModeFast(b *testing.B) {
+	benchPredictor(b, branchsim.NewBiModeFast(64<<10))
+}
+
+func BenchmarkPredictYAGS(b *testing.B) {
+	benchPredictor(b, branchsim.NewYAGS(64<<10))
+}
+
+// BenchmarkRecovery runs the §3.2 checkpointing-value ablation.
+func BenchmarkRecovery(b *testing.B) {
+	out := runExperiment(b, "recovery")
+	reportCell(b, out, "Misprediction recovery", -1, 0, "ckpt@512K-IPC")
+	reportCell(b, out, "Misprediction recovery", -1, 1, "nockpt@512K-IPC")
+}

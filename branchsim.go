@@ -1,0 +1,188 @@
+// Package branchsim is the public API of the branch-predictor simulation
+// library reproducing Jiménez, "Reconsidering Complex Branch Predictors"
+// (HPCA 2003). It re-exports the pieces a downstream user composes:
+//
+//   - Predictors: the classic baselines (bimodal, gshare, gselect, bi-mode,
+//     local two-level, the Alpha 21264 tournament), the complex academic
+//     predictors the paper evaluates (2Bc-gskew, Evers' multi-component
+//     hybrid, the global+local perceptron), and the paper's contribution,
+//     the pipelined single-cycle GShareFast.
+//   - Organizations: Overriding (quick predictor backed by a slow accurate
+//     one, as in the Alpha EV6/EV8 front ends).
+//   - A CACTI-style DelayModel giving access latencies at an 8-FO4 clock.
+//   - Twelve synthetic SPECint2000-like Workloads and the trace format.
+//   - Two simulators: the functional accuracy driver and the cycle-level
+//     out-of-order pipeline (Table 1 machine).
+//   - The experiment registry regenerating every table and figure.
+//
+// Quick start:
+//
+//	p := branchsim.NewGShareFast(64 << 10)
+//	prog := branchsim.NewWorkload(branchsim.Benchmarks()[0])
+//	res := branchsim.RunAccuracy(p, prog, branchsim.AccuracyOptions{MaxInsts: 1e6})
+//	fmt.Printf("%s: %.2f%% mispredicted\n", p.Name(), res.MispredictPercent())
+package branchsim
+
+import (
+	"branchsim/internal/core"
+	"branchsim/internal/delaymodel"
+	"branchsim/internal/experiments"
+	"branchsim/internal/funcsim"
+	"branchsim/internal/pipeline"
+	"branchsim/internal/predictor"
+	"branchsim/internal/trace"
+	"branchsim/internal/workload"
+)
+
+// Predictor is a conditional branch direction predictor: Predict(pc) then
+// Update(pc, taken), strictly alternating in program order.
+type Predictor = predictor.Predictor
+
+// CycleAware predictors (GShareFast) receive the fetch-cycle clock.
+type CycleAware = predictor.CycleAware
+
+// GShareFast is the paper's pipelined single-cycle predictor (§3).
+type GShareFast = core.GShareFast
+
+// GShareFastConfig sizes a GShareFast (entries, PHT latency, update lag,
+// buffer width).
+type GShareFastConfig = core.Config
+
+// Overriding is the quick+slow delay-hiding organization (§2.6.1).
+type Overriding = core.Overriding
+
+// Predictor constructors, budget-sized. Each returns the largest
+// configuration of its kind fitting (approximately) the byte budget.
+var (
+	NewBimodal        = predictor.NewBimodalFromBudget
+	NewGShare         = predictor.NewGShareFromBudget
+	NewGSelect        = predictor.NewGSelectFromBudget
+	NewBiMode         = predictor.NewBiModeFromBudget
+	NewLocal          = predictor.NewLocalFromBudget
+	NewEV6            = predictor.NewEV6FromBudget
+	NewGSkew2Bc       = predictor.NewGSkew2BcFromBudget
+	NewMultiComponent = predictor.NewMultiComponentFromBudget
+	NewPerceptron     = predictor.NewPerceptronFromBudget
+	NewYAGS           = predictor.NewYAGSFromBudget
+	NewAgree          = predictor.NewAgreeFromBudget
+)
+
+// BiModeFast is the bi-mode predictor reorganized with the gshare.fast
+// pipelining — the §5 future-work direction, implemented.
+type BiModeFast = core.BiModeFast
+
+// NewBiModeFast returns a pipelined bi-mode sized to budgetBytes with
+// delay-model latency.
+func NewBiModeFast(budgetBytes int) *BiModeFast {
+	return experiments.NewBiModeFast(budgetBytes)
+}
+
+// NewGShareFast returns the paper's pipelined predictor sized to
+// budgetBytes, with its PHT read latency taken from the default delay
+// model.
+func NewGShareFast(budgetBytes int) *GShareFast {
+	return experiments.NewGShareFast(budgetBytes)
+}
+
+// NewGShareFastConfig builds a GShareFast from an explicit configuration.
+func NewGShareFastConfig(cfg GShareFastConfig) *GShareFast { return core.New(cfg) }
+
+// NewOverriding wraps slow behind quick with the given access latency.
+func NewOverriding(quick, slow Predictor, latency int) *Overriding {
+	return core.NewOverriding(quick, slow, latency)
+}
+
+// NewPredictorByName builds any registered predictor kind ("gshare",
+// "perceptron", "gshare.fast", ...) sized to budgetBytes.
+func NewPredictorByName(kind string, budgetBytes int) (Predictor, error) {
+	return experiments.NewPredictor(kind, budgetBytes)
+}
+
+// PredictorKinds lists the names NewPredictorByName accepts.
+func PredictorKinds() []string { return experiments.PredictorKinds() }
+
+// DelayModel estimates SRAM access latencies in FO4 and cycles.
+type DelayModel = delaymodel.Model
+
+// DefaultDelayModel is calibrated to the paper's anchors (1K-entry PHT in
+// one 8-FO4 cycle; hundreds-of-KB tables at ~9-11 cycles).
+var DefaultDelayModel = delaymodel.Default
+
+// Inst is one dynamic instruction of the synthetic ISA.
+type Inst = trace.Inst
+
+// Generator produces a dynamic instruction stream.
+type Generator = trace.Generator
+
+// Benchmark describes one synthetic SPECint2000-like workload.
+type Benchmark = workload.Profile
+
+// Workload is an instantiated synthetic benchmark program.
+type Workload = workload.Program
+
+// Benchmarks returns the twelve benchmark profiles in SPEC order.
+func Benchmarks() []Benchmark { return workload.Profiles() }
+
+// BenchmarkByName finds a profile by name ("gzip" or "164.gzip").
+func BenchmarkByName(name string) (Benchmark, bool) { return workload.ByName(name) }
+
+// NewWorkload instantiates a benchmark's deterministic instruction stream.
+func NewWorkload(b Benchmark) *Workload { return workload.New(b) }
+
+// AccuracyOptions configures RunAccuracy.
+type AccuracyOptions = funcsim.Options
+
+// AccuracyResult reports a functional (accuracy-only) run.
+type AccuracyResult = funcsim.Result
+
+// RunAccuracy streams a workload's branches through a predictor and counts
+// mispredictions.
+func RunAccuracy(p Predictor, g Generator, opts AccuracyOptions) AccuracyResult {
+	return funcsim.Run(p, g, opts)
+}
+
+// BlockPredictor is the block-at-a-time protocol of the multiple-branch
+// extension (§3.3.1); GShareFast implements it.
+type BlockPredictor = funcsim.BlockPredictor
+
+// RunAccuracyBlocks evaluates a block predictor with up to
+// opts.BlockBranches branches predicted per block from block-start history.
+func RunAccuracyBlocks(p BlockPredictor, name string, g Generator, opts AccuracyOptions) AccuracyResult {
+	return funcsim.RunBlocks(p, name, g, opts)
+}
+
+// MachineConfig parameterizes the cycle-level pipeline model.
+type MachineConfig = pipeline.Config
+
+// DefaultMachine returns the paper's Table 1 machine (8-wide, 20-deep,
+// 64KB L1s, 2MB L2, 512-entry BTB).
+func DefaultMachine() MachineConfig { return pipeline.DefaultConfig() }
+
+// TimingResult reports a cycle-level run (IPC, misprediction and override
+// rates, cache statistics).
+type TimingResult = pipeline.Result
+
+// RunTiming replays a workload through the pipeline model with the given
+// predictor organization.
+func RunTiming(cfg MachineConfig, p Predictor, g Generator, maxInsts, warmupInsts int64) TimingResult {
+	return pipeline.New(cfg, p).Run(g, maxInsts, warmupInsts)
+}
+
+// ExperimentOptions configures experiment runs.
+type ExperimentOptions = experiments.Options
+
+// Experiment is a rendered experiment outcome.
+type Experiment = experiments.Outcome
+
+// Experiments returns the registered experiment ids (one per paper table
+// and figure, plus ablations).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one table or figure by id.
+func RunExperiment(id string, opts ExperimentOptions) (*Experiment, error) {
+	runner, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return runner(opts), nil
+}

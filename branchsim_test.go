@@ -1,0 +1,99 @@
+package branchsim_test
+
+import (
+	"testing"
+
+	"branchsim"
+)
+
+// These tests exercise the public facade the way the examples and a
+// downstream user would.
+
+func TestQuickstartFlow(t *testing.T) {
+	pred := branchsim.NewGShareFast(64 << 10)
+	if pred.Latency() < 2 {
+		t.Fatalf("a 64KB PHT should be multi-cycle to read, got %d", pred.Latency())
+	}
+	bench, ok := branchsim.BenchmarkByName("gzip")
+	if !ok {
+		t.Fatal("gzip missing")
+	}
+	res := branchsim.RunAccuracy(pred, branchsim.NewWorkload(bench), branchsim.AccuracyOptions{
+		MaxInsts: 400_000,
+	})
+	if res.Branches == 0 {
+		t.Fatal("no branches measured")
+	}
+	if p := res.MispredictPercent(); p <= 0 || p > 30 {
+		t.Fatalf("implausible misprediction %v%%", p)
+	}
+}
+
+func TestPredictorKindsAllConstructible(t *testing.T) {
+	for _, kind := range branchsim.PredictorKinds() {
+		p, err := branchsim.NewPredictorByName(kind, 16<<10)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		p.Predict(0x1000)
+		p.Update(0x1000, true)
+	}
+}
+
+func TestTimingFlow(t *testing.T) {
+	bench, _ := branchsim.BenchmarkByName("eon")
+	pred := branchsim.NewGShareFast(32 << 10)
+	res := branchsim.RunTiming(branchsim.DefaultMachine(), pred,
+		branchsim.NewWorkload(bench), 300_000, 75_000)
+	if res.IPC() <= 0.2 || res.IPC() > 8 {
+		t.Fatalf("IPC %v", res.IPC())
+	}
+}
+
+func TestOverridingFlow(t *testing.T) {
+	slow := branchsim.NewPerceptron(128 << 10)
+	lat := branchsim.DefaultDelayModel.ForPredictor(slow)
+	if lat < 2 {
+		t.Fatalf("128KB perceptron latency %d", lat)
+	}
+	over := branchsim.NewOverriding(branchsim.NewGShare(512), slow, lat)
+	bench, _ := branchsim.BenchmarkByName("parser")
+	res := branchsim.RunTiming(branchsim.DefaultMachine(), over,
+		branchsim.NewWorkload(bench), 300_000, 75_000)
+	if res.OverrideRate <= 0 {
+		t.Fatal("override rate not recorded through the facade")
+	}
+}
+
+func TestBenchmarksComplete(t *testing.T) {
+	if got := len(branchsim.Benchmarks()); got != 12 {
+		t.Fatalf("%d benchmarks", got)
+	}
+}
+
+func TestExperimentRegistryReachable(t *testing.T) {
+	ids := branchsim.Experiments()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	out, err := branchsim.RunExperiment("table2", branchsim.ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Render() == "" {
+		t.Fatal("empty render")
+	}
+	if _, err := branchsim.RunExperiment("bogus", branchsim.ExperimentOptions{}); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}
+
+func TestBlockPredictionFacade(t *testing.T) {
+	pred := branchsim.NewGShareFast(32 << 10)
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	res := branchsim.RunAccuracyBlocks(pred, pred.Name(), branchsim.NewWorkload(bench),
+		branchsim.AccuracyOptions{MaxInsts: 200_000, BlockBranches: 4})
+	if res.Branches == 0 {
+		t.Fatal("no branches")
+	}
+}

@@ -1,0 +1,49 @@
+// Command compare diffs two result files produced by `reproduce -json`,
+// reporting every cell that moved beyond a relative tolerance — the
+// regression check for calibration and refactoring work.
+//
+// Example:
+//
+//	reproduce -json baseline.json
+//	...change code...
+//	reproduce -json after.json
+//	compare -tolerance 0.05 baseline.json after.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchsim/internal/results"
+)
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.05, "relative change to flag")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: compare [-tolerance f] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := results.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	new, err := results.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diffs := results.Compare(old, new, *tolerance)
+	if len(diffs) == 0 {
+		fmt.Printf("no differences beyond %.1f%% (%d experiments compared)\n",
+			100**tolerance, len(new.Experiments))
+		return
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	fmt.Printf("%d cells moved beyond %.1f%%\n", len(diffs), 100**tolerance)
+	os.Exit(1)
+}

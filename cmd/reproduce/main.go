@@ -1,0 +1,68 @@
+// Command reproduce regenerates the paper's tables and figures (and this
+// repository's extra ablations) and prints them as text tables and charts.
+//
+// Examples:
+//
+//	reproduce                          # every experiment, default budgets
+//	reproduce -experiment figure5
+//	reproduce -experiment figure7 -insts 12000000 -warmup 3000000
+//	reproduce -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"branchsim/internal/experiments"
+	"branchsim/internal/results"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all'")
+		insts      = flag.Int64("insts", 0, "instructions per benchmark (0 = default 8M)")
+		warmup     = flag.Int64("warmup", 0, "warm-up instructions (0 = insts/4)")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath   = flag.String("json", "", "also write results as JSON to this path (for cmd/compare)")
+		label      = flag.String("label", "", "label stored in the JSON results")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Insts: *insts, Warmup: *warmup, Parallel: *parallel}
+	ids := experiments.IDs()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+	file := &results.File{Label: *label, Insts: opts.Insts, Warmup: opts.Warmup}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		outcome := runner(opts)
+		fmt.Print(outcome.Render())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		file.Experiments = append(file.Experiments, results.FromOutcome(outcome))
+	}
+	if *jsonPath != "" {
+		if err := file.Save(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jsonPath)
+	}
+}

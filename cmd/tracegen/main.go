@@ -1,0 +1,89 @@
+// Command tracegen dumps the synthetic benchmark instruction streams for
+// inspection: either a human-readable listing of the first N instructions
+// or summary statistics of a longer run.
+//
+// Examples:
+//
+//	tracegen -benchmark gzip -n 40           # listing
+//	tracegen -benchmark twolf -stats -n 2000000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"branchsim/internal/trace"
+	"branchsim/internal/workload"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "gzip", "benchmark name")
+		n         = flag.Int64("n", 32, "instructions to emit / analyze")
+		stat      = flag.Bool("stats", false, "print summary statistics instead of a listing")
+	)
+	flag.Parse()
+
+	prof, ok := workload.ByName(*benchmark)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q\n", *benchmark)
+		os.Exit(1)
+	}
+	p := workload.New(prof)
+
+	if *stat {
+		printStats(p, *n)
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	var inst trace.Inst
+	for i := int64(0); i < *n && p.Next(&inst); i++ {
+		switch inst.Kind {
+		case trace.CondBranch:
+			dir := "N"
+			if inst.Taken {
+				dir = "T"
+			}
+			fmt.Fprintf(w, "%08x  br    %s -> %08x\n", inst.PC, dir, inst.Target)
+		case trace.Jump:
+			fmt.Fprintf(w, "%08x  jmp   -> %08x\n", inst.PC, inst.Target)
+		case trace.Load:
+			fmt.Fprintf(w, "%08x  load  r%d <- [%08x] (r%d)\n", inst.PC, inst.Dst, inst.Addr, inst.Src1)
+		case trace.Store:
+			fmt.Fprintf(w, "%08x  store [%08x] <- r%d (r%d)\n", inst.PC, inst.Addr, inst.Src1, inst.Src2)
+		default:
+			fmt.Fprintf(w, "%08x  %-5s r%d <- r%d, r%d\n", inst.PC, inst.Kind, inst.Dst, inst.Src1, inst.Src2)
+		}
+	}
+}
+
+func printStats(p *workload.Program, n int64) {
+	var inst trace.Inst
+	kinds := make([]int64, trace.NumKinds)
+	var taken, branches int64
+	for i := int64(0); i < n && p.Next(&inst); i++ {
+		kinds[inst.Kind]++
+		if inst.Kind == trace.CondBranch {
+			branches++
+			if inst.Taken {
+				taken++
+			}
+		}
+	}
+	insts, _, _ := p.Stats()
+	fmt.Printf("benchmark:        %s\n", p.Name())
+	fmt.Printf("instructions:     %d\n", insts)
+	fmt.Printf("static branches:  %d\n", p.StaticBranches())
+	fmt.Printf("code footprint:   %d bytes\n", p.CodeFootprint())
+	for k := 0; k < trace.NumKinds; k++ {
+		fmt.Printf("  %-6s %9d (%5.2f%%)\n", trace.Kind(k), kinds[k],
+			100*float64(kinds[k])/float64(insts))
+	}
+	if branches > 0 {
+		fmt.Printf("taken rate:       %.2f%%\n", 100*float64(taken)/float64(branches))
+	}
+}

@@ -1,0 +1,43 @@
+// Accuracy bake-off: compare every registered predictor at the same
+// hardware budget on one benchmark — the per-benchmark slice of the paper's
+// Figures 5 and 6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"branchsim"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "twolf", "benchmark name")
+	budget := flag.Int("budget", 64<<10, "hardware budget in bytes")
+	insts := flag.Int64("insts", 4_000_000, "instructions to simulate")
+	flag.Parse()
+
+	bench, ok := branchsim.BenchmarkByName(*benchmark)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *benchmark)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s @ %d KB budget, %d instructions\n\n", bench.Name, *budget>>10, *insts)
+	fmt.Printf("%-16s %10s %12s\n", "predictor", "size", "mispredict")
+	for _, kind := range branchsim.PredictorKinds() {
+		if kind == "taken" || kind == "nottaken" {
+			continue // static floors are not interesting here
+		}
+		pred, err := branchsim.NewPredictorByName(kind, *budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := branchsim.RunAccuracy(pred, branchsim.NewWorkload(bench), branchsim.AccuracyOptions{
+			MaxInsts:    *insts,
+			WarmupInsts: *insts / 4,
+		})
+		fmt.Printf("%-16s %9dB %11.2f%%\n", kind, pred.SizeBytes(), res.MispredictPercent())
+	}
+}

@@ -1,0 +1,109 @@
+// Custom predictor: implement the branchsim.Predictor interface from
+// scratch and evaluate it against the library's predictors on the standard
+// workloads. The example predictor is a tiny "agree"-style scheme: a
+// per-branch bias bit (set on first encounter) plus a gshare-indexed table
+// of 2-bit counters that predict whether the branch will *agree* with its
+// bias — a classic aliasing-reduction trick.
+package main
+
+import (
+	"fmt"
+
+	"branchsim"
+)
+
+// AgreePredictor predicts agreement with a per-branch bias bit.
+type AgreePredictor struct {
+	agree   []uint8 // 2-bit counters, "agree with bias" semantics
+	bias    map[uint64]bool
+	history uint64
+	mask    uint64
+	bits    uint
+}
+
+// NewAgree returns an agree predictor with 2^bits counters.
+func NewAgree(bits uint) *AgreePredictor {
+	return &AgreePredictor{
+		agree: make([]uint8, 1<<bits),
+		bias:  make(map[uint64]bool),
+		mask:  1<<bits - 1,
+		bits:  bits,
+	}
+}
+
+func (a *AgreePredictor) index(pc uint64) int {
+	return int((a.history ^ (pc >> 2)) & a.mask)
+}
+
+// biasFor returns the branch's bias bit, fixing it at first encounter.
+func (a *AgreePredictor) biasFor(pc uint64, taken bool) bool {
+	b, ok := a.bias[pc]
+	if !ok {
+		a.bias[pc] = taken
+		return taken
+	}
+	return b
+}
+
+// Predict implements branchsim.Predictor.
+func (a *AgreePredictor) Predict(pc uint64) bool {
+	b, ok := a.bias[pc]
+	if !ok {
+		return true // unseen branch: static taken
+	}
+	agree := a.agree[a.index(pc)] >= 2
+	return agree == b
+}
+
+// Update implements branchsim.Predictor.
+func (a *AgreePredictor) Update(pc uint64, taken bool) {
+	bias := a.biasFor(pc, taken)
+	i := a.index(pc)
+	if taken == bias {
+		if a.agree[i] < 3 {
+			a.agree[i]++
+		}
+	} else if a.agree[i] > 0 {
+		a.agree[i]--
+	}
+	a.history = (a.history<<1 | boolToU64(taken)) & (1<<a.bits - 1)
+}
+
+// SizeBytes implements branchsim.Predictor: 2 bits per counter plus one
+// bias bit per static branch.
+func (a *AgreePredictor) SizeBytes() int {
+	return len(a.agree)*2/8 + (len(a.bias)+7)/8
+}
+
+// Name implements branchsim.Predictor.
+func (a *AgreePredictor) Name() string {
+	return fmt.Sprintf("agree-%dentries", len(a.agree))
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	const insts = 2_000_000
+	fmt.Printf("%-10s %18s %18s %18s\n", "benchmark", "agree(custom)", "gshare", "gshare.fast")
+	for _, bench := range branchsim.Benchmarks() {
+		var rates []float64
+		for _, pred := range []branchsim.Predictor{
+			NewAgree(16),
+			branchsim.NewGShare(16 << 10),
+			branchsim.NewGShareFast(16 << 10),
+		} {
+			res := branchsim.RunAccuracy(pred, branchsim.NewWorkload(bench), branchsim.AccuracyOptions{
+				MaxInsts:    insts,
+				WarmupInsts: insts / 4,
+			})
+			rates = append(rates, res.MispredictPercent())
+		}
+		fmt.Printf("%-10s %17.2f%% %17.2f%% %17.2f%%\n",
+			bench.ShortName(), rates[0], rates[1], rates[2])
+	}
+}

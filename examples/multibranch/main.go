@@ -1,0 +1,35 @@
+// Multiple-branch prediction (§3.3.1): gshare.fast extended to predict
+// several branches per cycle from one enlarged PHT buffer. All predictions
+// in a block share the history as of the block's start; this example
+// measures what that staleness costs and prints the paper's buffer-sizing
+// rule (b·2^L entries).
+package main
+
+import (
+	"fmt"
+
+	"branchsim"
+)
+
+func main() {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	const budget = 64 << 10
+	const insts = 4_000_000
+
+	fmt.Printf("%s @ %dKB gshare.fast, %d insts\n\n", bench.Name, budget>>10, insts)
+	fmt.Printf("%-12s %14s %16s %12s\n", "block width", "mispredict", "buffer entries", "state bytes")
+	for _, width := range []int{1, 2, 4, 8, 16} {
+		pred := branchsim.NewGShareFast(budget)
+		res := branchsim.RunAccuracyBlocks(pred, pred.Name(), branchsim.NewWorkload(bench), branchsim.AccuracyOptions{
+			MaxInsts:      insts,
+			WarmupInsts:   insts / 4,
+			FetchWidth:    8,
+			BlockBranches: width,
+		})
+		fmt.Printf("b=%-10d %13.2f%% %16d %12d\n",
+			width, res.MispredictPercent(),
+			pred.BlockBufferEntries(width), pred.BlockSizeBytes(width))
+	}
+	fmt.Println("\nAccuracy degrades only gradually with block width: within-block")
+	fmt.Println("histories are stale, the same compromise the EV8 predictor makes.")
+}

@@ -1,0 +1,3 @@
+module branchsim
+
+go 1.22

@@ -1,0 +1,86 @@
+// Package btb implements the branch target buffer of Table 1 (512 entries,
+// 2-way set associative). The BTB predicts the target address of branches
+// predicted taken; the paper's direction predictors are only useful together
+// with one (§3.3.3), and a taken-predicted branch that misses in the BTB
+// costs the front end a redirect bubble once the target is computed in
+// decode.
+package btb
+
+import "fmt"
+
+// Entry is one BTB entry.
+type entry struct {
+	tag    uint64 // PC+1 so zero means invalid
+	target uint64
+	lru    uint32
+}
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+type BTB struct {
+	entries []entry
+	ways    int
+	setMask uint64
+	stamp   uint32
+	hits    int64
+	misses  int64
+}
+
+// New returns a BTB with the given total entries and associativity.
+func New(entries, ways int) *BTB {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("btb: entries %d not a power of two", entries))
+	}
+	if ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("btb: ways %d does not divide entries %d", ways, entries))
+	}
+	sets := entries / ways
+	return &BTB{
+		entries: make([]entry, entries),
+		ways:    ways,
+		setMask: uint64(sets - 1),
+	}
+}
+
+func (b *BTB) set(pc uint64) int { return int((pc >> 2) & b.setMask) }
+
+// Lookup returns the predicted target for the branch at pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	base := b.set(pc) * b.ways
+	b.stamp++
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[base+w]
+		if e.tag == pc+1 {
+			e.lru = b.stamp
+			b.hits++
+			return e.target, true
+		}
+	}
+	b.misses++
+	return 0, false
+}
+
+// Insert records the target of a taken branch at pc, evicting the
+// least-recently-used way on conflict.
+func (b *BTB) Insert(pc, target uint64) {
+	base := b.set(pc) * b.ways
+	b.stamp++
+	victim, victimStamp := base, b.entries[base].lru
+	for w := 0; w < b.ways; w++ {
+		e := &b.entries[base+w]
+		if e.tag == pc+1 {
+			e.target = target
+			e.lru = b.stamp
+			return
+		}
+		if e.lru < victimStamp {
+			victim, victimStamp = base+w, e.lru
+		}
+	}
+	b.entries[victim] = entry{tag: pc + 1, target: target, lru: b.stamp}
+}
+
+// Stats returns cumulative lookup hit and miss counts.
+func (b *BTB) Stats() (hits, misses int64) { return b.hits, b.misses }
+
+// SizeEntries returns the total entry count.
+func (b *BTB) SizeEntries() int { return len(b.entries) }

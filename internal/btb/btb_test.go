@@ -1,0 +1,89 @@
+package btb
+
+import "testing"
+
+func TestInsertLookup(t *testing.T) {
+	b := New(512, 2)
+	if _, hit := b.Lookup(0x1000); hit {
+		t.Fatal("empty BTB hit")
+	}
+	b.Insert(0x1000, 0x2000)
+	target, hit := b.Lookup(0x1000)
+	if !hit || target != 0x2000 {
+		t.Fatalf("lookup = %#x, %v", target, hit)
+	}
+}
+
+func TestUpdateExistingEntry(t *testing.T) {
+	b := New(64, 2)
+	b.Insert(0x1000, 0x2000)
+	b.Insert(0x1000, 0x3000)
+	target, hit := b.Lookup(0x1000)
+	if !hit || target != 0x3000 {
+		t.Fatalf("updated target = %#x, %v", target, hit)
+	}
+}
+
+func TestSetConflictLRU(t *testing.T) {
+	// 4 entries, 2 ways = 2 sets. PCs with equal (pc>>2)&1 share a set.
+	b := New(4, 2)
+	pcA, pcB, pcC := uint64(0x100), uint64(0x108), uint64(0x110) // all set 0
+	b.Insert(pcA, 1)
+	b.Insert(pcB, 2)
+	b.Lookup(pcA)    // touch A
+	b.Insert(pcC, 3) // evicts B (LRU)
+	if _, hit := b.Lookup(pcA); !hit {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, hit := b.Lookup(pcB); hit {
+		t.Fatal("LRU entry survived")
+	}
+	if _, hit := b.Lookup(pcC); !hit {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := New(64, 2)
+	b.Lookup(0x1000)
+	b.Insert(0x1000, 0x2000)
+	b.Lookup(0x1000)
+	hits, misses := b.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats %d/%d", hits, misses)
+	}
+}
+
+func TestDistinctSets(t *testing.T) {
+	b := New(512, 2)
+	// Fill many distinct branches; all must be resident (enough
+	// capacity, different sets).
+	for i := uint64(0); i < 256; i++ {
+		b.Insert(0x1000+i*4, i)
+	}
+	for i := uint64(0); i < 256; i++ {
+		target, hit := b.Lookup(0x1000 + i*4)
+		if !hit || target != i {
+			t.Fatalf("branch %d lost: %#x %v", i, target, hit)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	for _, tc := range []struct{ entries, ways int }{{0, 1}, {100, 2}, {64, 3}, {64, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.entries, tc.ways)
+				}
+			}()
+			New(tc.entries, tc.ways)
+		}()
+	}
+}
+
+func TestSizeEntries(t *testing.T) {
+	if got := New(512, 2).SizeEntries(); got != 512 {
+		t.Fatalf("SizeEntries = %d", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package cache implements the set-associative cache models the timing
+// simulator uses for the L1 instruction cache, L1 data cache and unified L2
+// of Table 1. The simulator is trace-driven, so the caches track presence
+// and recency only — no data — and report hits and misses; latencies are the
+// pipeline's business.
+package cache
+
+import "fmt"
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total capacity (power of two).
+	SizeBytes int
+	// LineBytes is the line size (power of two).
+	LineBytes int
+	// Ways is the associativity (1 = direct mapped).
+	Ways int
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0:
+		return fmt.Errorf("cache: size %d not a positive power of two", c.SizeBytes)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a positive power of two", c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: ways %d not positive", c.Ways)
+	case c.SizeBytes < c.LineBytes*c.Ways:
+		return fmt.Errorf("cache: size %d too small for %d ways of %d-byte lines",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg       Config
+	tags      []uint64 // sets × ways; 0 means invalid (tag values are offset by 1)
+	lru       []uint32 // per-line recency stamp
+	stamp     uint32
+	setShift  uint
+	setMask   uint64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// New returns an empty cache with the given configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	var shift uint
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		tags:     make([]uint64, sets*cfg.Ways),
+		lru:      make([]uint32, sets*cfg.Ways),
+		setShift: shift,
+		setMask:  uint64(sets - 1),
+	}
+}
+
+// Access looks up addr, allocating its line on a miss, and reports whether
+// it hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line + 1 // offset by 1 so 0 stays "invalid"
+	base := set * c.cfg.Ways
+	c.stamp++
+	victim, victimStamp := base, c.lru[base]
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.lru[i] = c.stamp
+			c.hits++
+			return true
+		}
+		if c.lru[i] < victimStamp {
+			victim, victimStamp = i, c.lru[i]
+		}
+	}
+	c.misses++
+	if c.tags[victim] != 0 {
+		c.evictions++
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.stamp
+	return false
+}
+
+// Probe looks up addr without allocating and reports whether it would hit.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line + 1
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions int64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// MissRate returns misses over accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}

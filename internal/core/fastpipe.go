@@ -1,0 +1,157 @@
+package core
+
+import (
+	"branchsim/internal/history"
+)
+
+// FastPipe is the reusable core of the gshare.fast organization (§3),
+// packaged so that other global-history predictors can be reorganized the
+// same way — the direction the paper's conclusion points to ("we are
+// currently studying ways to reorganize other predictors to take advantage
+// of the same ideas", §5). It owns the speculative global history, the
+// fetch clock, the per-cycle history snapshots, and the split-index
+// computation: fresh low bits (PC XOR newest history, selected within the
+// prefetched buffer in a single cycle) and row bits from slightly older
+// history that never depend on the branch address.
+//
+// A predictor built on FastPipe has an effective prediction latency of one
+// cycle regardless of its table size; its tables must be indexable by
+// Index(pc) — i.e. by global history plus low PC bits only.
+type FastPipe struct {
+	ghr     *history.Global
+	idxBits uint
+	bufBits uint
+	latency int
+
+	cycle         uint64
+	externalClock bool
+	pushes        uint64
+	snaps         []histSnap
+}
+
+// NewFastPipe returns the pipelined index machinery for a table of
+// 2^idxBits entries read in latency cycles. bufBits of 0 selects the
+// default split (see DefaultBufferBits and the sqrt scaling of New).
+func NewFastPipe(idxBits uint, latency int, bufBits uint) *FastPipe {
+	if idxBits == 0 || idxBits > 32 {
+		panic("core: FastPipe index bits out of range")
+	}
+	if latency < 1 {
+		panic("core: FastPipe latency must be >= 1")
+	}
+	histBits := idxBits
+	if histBits > history.MaxGlobalBits {
+		histBits = history.MaxGlobalBits
+	}
+	if bufBits == 0 {
+		bufBits = (idxBits + 1) / 2
+		if bufBits < DefaultBufferBits {
+			bufBits = DefaultBufferBits
+		}
+	}
+	if bufBits > idxBits {
+		bufBits = idxBits
+	}
+	return &FastPipe{
+		ghr:     history.NewGlobal(histBits),
+		idxBits: idxBits,
+		bufBits: bufBits,
+		latency: latency,
+		snaps:   []histSnap{{}},
+	}
+}
+
+// OnCycle advances the fetch clock (see predictor.CycleAware).
+func (f *FastPipe) OnCycle(cycle uint64) {
+	f.externalClock = true
+	if cycle > f.cycle {
+		f.cycle = cycle
+	}
+}
+
+// histAt returns history and cumulative pushes as of the end of cycle c.
+func (f *FastPipe) histAt(c uint64) (hist, pushes uint64) {
+	for i := len(f.snaps) - 1; i >= 0; i-- {
+		if f.snaps[i].cycle <= c {
+			return f.snaps[i].hist, f.snaps[i].pushes
+		}
+	}
+	return f.snaps[0].hist, f.snaps[0].pushes
+}
+
+// Index computes the effective table index for a branch predicted this
+// cycle, with the same semantics as gshare.fast's index (fresh low bits,
+// near-aligned row bits, stale-row fallback under fetch bursts).
+func (f *FastPipe) Index(pc uint64) int {
+	lowMask := uint64(1)<<f.bufBits - 1
+	cur := f.ghr.Value()
+	low := ((pc >> 2) ^ cur) & lowMask
+	if f.idxBits == f.bufBits {
+		return int(low)
+	}
+	var rowCycle uint64
+	if f.cycle > uint64(f.latency) {
+		rowCycle = f.cycle - uint64(f.latency)
+	}
+	rowMask := uint64(1)<<(f.idxBits-f.bufBits) - 1
+	oldHist, oldPushes := f.histAt(rowCycle)
+	var row uint64
+	if f.pushes-oldPushes <= uint64(f.bufBits) {
+		row = (cur >> rowShift) & rowMask
+	} else {
+		row = oldHist & rowMask
+	}
+	return int(row<<f.bufBits | low)
+}
+
+// Push records a resolved (speculatively predicted) outcome into the
+// history and advances the internal clock when no external clock drives it.
+func (f *FastPipe) Push(taken bool) {
+	f.ghr.Push(taken)
+	f.pushes++
+	h := f.ghr.Value()
+	if n := len(f.snaps); n > 0 && f.snaps[n-1].cycle == f.cycle {
+		f.snaps[n-1].hist = h
+		f.snaps[n-1].pushes = f.pushes
+	} else {
+		f.snaps = append(f.snaps, histSnap{cycle: f.cycle, pushes: f.pushes, hist: h})
+		if len(f.snaps) > f.latency+2 {
+			cut := uint64(0)
+			if f.cycle > uint64(f.latency) {
+				cut = f.cycle - uint64(f.latency)
+			}
+			keepFrom := 0
+			for i := len(f.snaps) - 1; i >= 0; i-- {
+				if f.snaps[i].cycle <= cut {
+					keepFrom = i
+					break
+				}
+			}
+			if keepFrom > 0 {
+				f.snaps = append(f.snaps[:0], f.snaps[keepFrom:]...)
+			}
+		}
+	}
+	if !f.externalClock {
+		f.cycle++
+	}
+}
+
+// History returns the current speculative global history value.
+func (f *FastPipe) History() uint64 { return f.ghr.Value() }
+
+// HistorySizeBytes returns the history register's state size.
+func (f *FastPipe) HistorySizeBytes() int { return f.ghr.SizeBytes() }
+
+// BufferBits returns the late-selected index width.
+func (f *FastPipe) BufferBits() uint { return f.bufBits }
+
+// Latency returns the hidden table read latency.
+func (f *FastPipe) Latency() int { return f.latency }
+
+// BufferStateBytes returns the buffer plus per-stage checkpoint state the
+// organization adds (§3.2 keeps one buffer copy per pipeline stage).
+func (f *FastPipe) BufferStateBytes() int {
+	bufferBytes := (1 << f.bufBits) * 2 / 8
+	return bufferBytes * (1 + f.latency + 1)
+}

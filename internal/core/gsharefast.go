@@ -1,0 +1,358 @@
+// Package core implements the paper's primary contribution: gshare.fast, a
+// large gshare predictor pipelined so that every prediction completes in a
+// single cycle regardless of PHT size (§3), plus the overriding organization
+// (§2.6.1) that complex predictors need to approximate the same property —
+// and whose disagreement penalty is the paper's central villain.
+package core
+
+import (
+	"fmt"
+
+	"branchsim/internal/counter"
+	"branchsim/internal/history"
+)
+
+// rowShift is the history offset of the prefetched row window (see index):
+// row bits come from positions [rowShift, rowShift+rowBits) of the current
+// speculative history.
+const rowShift = 2
+
+// DefaultBufferBits is the default width of the late-selected portion of the
+// PHT index: the lower bits of the branch address are XORed with the newest
+// global history bits to pick an entry out of the prefetched PHT buffer in
+// the final predictor pipeline stage (paper §3.1: "the lower nine bits of
+// its address are exclusive-ored with the low bits of the global history
+// register ... forms an index into the PHT buffer").
+const DefaultBufferBits = 9
+
+// GShareFast is the pipelined gshare predictor of §3. The PHT index is split
+// in two:
+//
+//   - The upper index bits come from the speculative global history as it
+//     stood when the multi-cycle PHT access began, Latency cycles before the
+//     prediction is needed. They select a contiguous line of candidate
+//     counters (the PHT buffer) without ever touching the branch address, so
+//     the access can start long before the branch is fetched.
+//   - The lower BufferBits bits are computed in the single final stage:
+//     low branch-PC bits XORed with the newest speculative history bits,
+//     including the New History bits generated while the access was in
+//     flight (tracked in hardware by the Branch Present / New History latches
+//     of Figure 4, and here by per-cycle history snapshots).
+//
+// Because the final stage is one mux plus one XOR, the predictor delivers an
+// up-to-date prediction every cycle with no overriding and no interaction
+// with the rest of the pipeline beyond prediction and recovery (§3.3.4).
+type GShareFast struct {
+	pht     *counter.Array2
+	ghr     *history.Global
+	idxBits uint
+	bufBits uint
+	latency int
+
+	// Fetch-cycle model. snaps records the history value and cumulative
+	// push count at the end of each cycle in which history changed. The
+	// row address for a prediction at cycle c is content-aligned current
+	// history (the New History Bit / Branch Present latches keep the
+	// prefetched row aligned with bits arriving during the access) as
+	// long as no more than bufBits branches were predicted during the
+	// access; in heavier bursts the aligned row was not prefetchable and
+	// the model falls back to the history as of cycle c-latency.
+	cycle         uint64
+	externalClock bool
+	pushes        uint64
+	snaps         []histSnap
+
+	// Delayed non-speculative PHT update (§3.2): counters train up to
+	// UpdateLag branches after prediction, modelling the multi-cycle
+	// write path into a large PHT.
+	updateLag int
+	pending   []pendingUpdate
+
+	// lastBlockPreds carries PredictBlock's chained predictions to
+	// UpdateBlock so training replays the same within-block history.
+	lastBlockPreds []bool
+
+	name string
+}
+
+type histSnap struct {
+	cycle  uint64
+	pushes uint64 // cumulative history pushes through this cycle
+	hist   uint64
+}
+
+type pendingUpdate struct {
+	index int
+	taken bool
+}
+
+// Config sizes a gshare.fast predictor.
+type Config struct {
+	// Entries is the PHT size in 2-bit counters (a power of two).
+	Entries int
+	// Latency is the PHT read latency in cycles; the predictor pipeline
+	// has Latency+1 stages (Figure 4 shows Latency=3, four stages). Must
+	// be at least 1.
+	Latency int
+	// UpdateLag delays each PHT counter update by this many branches
+	// (0 = immediate). §3.2 reports that a lag of 64 branches costs about
+	// 0.04 percentage points of accuracy at a 256 KB budget.
+	UpdateLag int
+	// BufferBits overrides the PHT-buffer index width (0 selects
+	// DefaultBufferBits). The buffer holds 2^BufferBits counters;
+	// narrower buffers prefetch less but leave fewer index bits to the
+	// fresh history, wider ones the reverse — the ablation benchmarks
+	// sweep this.
+	BufferBits uint
+}
+
+// New returns a gshare.fast predictor. History length is the maximum the
+// table supports, log2(Entries), as in §4.1.4.
+func New(cfg Config) *GShareFast {
+	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
+		panic(fmt.Sprintf("core: gshare.fast entries %d not a power of two", cfg.Entries))
+	}
+	if cfg.Latency < 1 {
+		panic(fmt.Sprintf("core: gshare.fast latency %d must be >= 1", cfg.Latency))
+	}
+	if cfg.UpdateLag < 0 {
+		panic(fmt.Sprintf("core: gshare.fast update lag %d must be >= 0", cfg.UpdateLag))
+	}
+	idxBits := uint(0)
+	for n := cfg.Entries; n > 1; n >>= 1 {
+		idxBits++
+	}
+	histBits := idxBits
+	if histBits > history.MaxGlobalBits {
+		histBits = history.MaxGlobalBits
+	}
+	bufBits := cfg.BufferBits
+	if bufBits == 0 {
+		// The prefetched line grows with the array: an SRAM's natural
+		// row width scales with the square root of its capacity, so
+		// larger PHTs hand the final stage more late-selected (fresh)
+		// index bits. The paper's 9-bit buffer index corresponds to
+		// the ~256K-entry design point of Figure 4.
+		bufBits = (idxBits + 1) / 2
+		if bufBits < DefaultBufferBits {
+			bufBits = DefaultBufferBits
+		}
+	}
+	if bufBits > idxBits {
+		bufBits = idxBits
+	}
+	g := &GShareFast{
+		pht:       counter.NewArray2(cfg.Entries, counter.WeaklyNotTaken),
+		ghr:       history.NewGlobal(histBits),
+		idxBits:   idxBits,
+		bufBits:   bufBits,
+		latency:   cfg.Latency,
+		updateLag: cfg.UpdateLag,
+		snaps:     []histSnap{{}},
+	}
+	g.name = fmt.Sprintf("gshare.fast-%s", budgetName(g.SizeBytes()))
+	return g
+}
+
+// NewFromBudget returns the largest gshare.fast fitting budgetBytes, with
+// the given PHT read latency.
+func NewFromBudget(budgetBytes int, latency int) *GShareFast {
+	entries := 4
+	for entries*2*2/8 <= budgetBytes {
+		entries *= 2
+	}
+	return New(Config{Entries: entries, Latency: latency})
+}
+
+// OnCycle implements predictor.CycleAware: it advances the predictor's fetch
+// clock. Drivers call it with a non-decreasing cycle number; predictions
+// issued before any OnCycle call see a conservative one-branch-per-cycle
+// clock advanced by Update.
+func (g *GShareFast) OnCycle(cycle uint64) {
+	g.externalClock = true
+	if cycle > g.cycle {
+		g.cycle = cycle
+	}
+}
+
+// histAt returns the speculative global history and cumulative push count
+// as of the end of cycle c, i.e. what the hardware had latched when an
+// access launched in cycle c+1.
+func (g *GShareFast) histAt(c uint64) (hist, pushes uint64) {
+	// Scan newest-to-oldest; the snapshot list is short (pruned below).
+	for i := len(g.snaps) - 1; i >= 0; i-- {
+		if g.snaps[i].cycle <= c {
+			return g.snaps[i].hist, g.snaps[i].pushes
+		}
+	}
+	return g.snaps[0].hist, g.snaps[0].pushes
+}
+
+// recordHistory notes that the history register changed during the current
+// cycle and prunes snapshots too old to ever be a row address again.
+func (g *GShareFast) recordHistory() {
+	h := g.ghr.Value()
+	if n := len(g.snaps); n > 0 && g.snaps[n-1].cycle == g.cycle {
+		g.snaps[n-1].hist = h
+		g.snaps[n-1].pushes = g.pushes
+		return
+	}
+	g.snaps = append(g.snaps, histSnap{cycle: g.cycle, pushes: g.pushes, hist: h})
+	// Keep the newest snapshot at or before cycle-latency plus everything
+	// after it; older entries can never be selected.
+	if len(g.snaps) > g.latency+2 {
+		cut := uint64(0)
+		if g.cycle > uint64(g.latency) {
+			cut = g.cycle - uint64(g.latency)
+		}
+		keepFrom := 0
+		for i := len(g.snaps) - 1; i >= 0; i-- {
+			if g.snaps[i].cycle <= cut {
+				keepFrom = i
+				break
+			}
+		}
+		if keepFrom > 0 {
+			g.snaps = append(g.snaps[:0], g.snaps[keepFrom:]...)
+		}
+	}
+}
+
+// index computes the effective PHT index for a branch predicted in the
+// current cycle. The low bufBits bits are fresh: newest speculative history
+// XOR low branch-address bits, computed in the final single-cycle stage.
+// The row bits come from history above position bufBits; the prefetched row
+// stays aligned with the bits that arrived during the multi-cycle access
+// (the New History Bit forwarding of Figure 4) as long as at most bufBits
+// branches were predicted while the access was in flight. In heavier
+// bursts the aligned row could not have been prefetched, and the entry
+// actually resident is the one addressed with the history as of the cycle
+// the access began — a stale row, the residual accuracy cost of the
+// pipelined organization.
+func (g *GShareFast) index(pc uint64) int {
+	lowMask := uint64(1)<<g.bufBits - 1
+	cur := g.ghr.Value()
+	low := ((pc >> 2) ^ cur) & lowMask
+	if g.idxBits == g.bufBits {
+		return int(low)
+	}
+	var rowCycle uint64
+	if g.cycle > uint64(g.latency) {
+		rowCycle = g.cycle - uint64(g.latency)
+	}
+	rowMask := uint64(1)<<(g.idxBits-g.bufBits) - 1
+	oldHist, oldPushes := g.histAt(rowCycle)
+	var row uint64
+	if k := g.pushes - oldPushes; k <= uint64(g.bufBits) {
+		// The row the access fetched is addressed by history bits a
+		// couple of positions up from the newest — the typical number
+		// of branches in flight during the PHT read — and the New
+		// History Bit forwarding keeps that alignment exact whenever
+		// no more new bits arrived than the buffer can late-select.
+		// Recent history carries the most correlation, so the row
+		// window deliberately overlaps the fresh low window.
+		row = (cur >> rowShift) & rowMask
+	} else {
+		// Burst: more branches resolved during the access than the
+		// buffer covers; the resident row is the one addressed when
+		// the access began.
+		row = oldHist & rowMask
+	}
+	return int(row<<g.bufBits | low)
+}
+
+// Predict implements predictor.Predictor.
+func (g *GShareFast) Predict(pc uint64) bool {
+	return g.pht.Taken(g.index(pc))
+}
+
+// Update implements predictor.Predictor. The counter update is enqueued
+// behind UpdateLag younger branches (the slow non-speculative PHT write path
+// of §3.2); the speculative history updates immediately, as the New History
+// latches do in hardware.
+func (g *GShareFast) Update(pc uint64, taken bool) {
+	idx := g.index(pc)
+	if g.updateLag == 0 {
+		g.pht.Update(idx, taken)
+	} else {
+		g.pending = append(g.pending, pendingUpdate{index: idx, taken: taken})
+		if len(g.pending) > g.updateLag {
+			u := g.pending[0]
+			g.pending = g.pending[1:]
+			g.pht.Update(u.index, u.taken)
+		}
+	}
+	g.ghr.Push(taken)
+	g.pushes++
+	g.recordHistory()
+	// Without an external clock, model one branch per cycle so the row
+	// address is still latency cycles stale.
+	if !g.externalClock {
+		g.cycle++
+	}
+}
+
+// Flush applies all pending delayed updates, used by drivers at the end of a
+// run so short traces are not biased by a permanently-lagging tail.
+func (g *GShareFast) Flush() {
+	for _, u := range g.pending {
+		g.pht.Update(u.index, u.taken)
+	}
+	g.pending = g.pending[:0]
+}
+
+// SizeBytes implements predictor.Predictor: the PHT, the history register,
+// and the PHT buffer with its per-stage checkpoint copies (§3.2 keeps one
+// buffer copy per pipeline stage for misprediction recovery).
+func (g *GShareFast) SizeBytes() int {
+	bufferBytes := (1 << g.bufBits) * 2 / 8
+	checkpoints := g.latency + 1
+	return g.pht.SizeBytes() + g.ghr.SizeBytes() + bufferBytes*(1+checkpoints)
+}
+
+// Name implements predictor.Predictor.
+func (g *GShareFast) Name() string { return g.name }
+
+// Entries returns the PHT size in counters.
+func (g *GShareFast) Entries() int { return g.pht.Len() }
+
+// Latency returns the PHT read latency being hidden by the pipeline. The
+// *effective* prediction latency is always one cycle; this value only sizes
+// the pipeline and its buffers.
+func (g *GShareFast) Latency() int { return g.latency }
+
+// HistoryBits returns the global history length.
+func (g *GShareFast) HistoryBits() uint { return g.ghr.Len() }
+
+func budgetName(bytes int) string {
+	if bytes >= 1024 {
+		return fmt.Sprintf("%dKB", (bytes+512)/1024)
+	}
+	return fmt.Sprintf("%dB", bytes)
+}
+
+// LargestTable implements predictor.DelayFootprint: the PHT itself. Its
+// multi-cycle access latency sets the predictor pipeline depth, not the
+// prediction latency, which is always a single cycle.
+func (g *GShareFast) LargestTable() (int, int) { return g.pht.SizeBytes(), g.pht.Len() }
+
+// NoCheckpoint wraps a gshare.fast whose PHT buffer is NOT checkpointed per
+// pipeline stage: after a misprediction the buffer contents are invalid for
+// the cycles it takes to refill from the PHT, so every misprediction costs
+// an extra Latency()-cycle fetch bubble. The paper's design eliminates this
+// with per-stage buffer copies (§3.2); this wrapper exists to measure what
+// that mechanism is worth (the `recovery` ablation).
+type NoCheckpoint struct {
+	*GShareFast
+}
+
+// WithoutCheckpointing wraps g so timing simulations charge the buffer
+// refill after each misprediction.
+func WithoutCheckpointing(g *GShareFast) NoCheckpoint { return NoCheckpoint{g} }
+
+// RecoveryPenalty implements predictor.RecoveryCost: the buffer refill
+// takes a full PHT read.
+func (n NoCheckpoint) RecoveryPenalty() int { return n.Latency() }
+
+// Name implements predictor.Predictor.
+func (n NoCheckpoint) Name() string { return n.GShareFast.Name() + "-nockpt" }

@@ -1,0 +1,99 @@
+package core
+
+import "fmt"
+
+// Multiple-branch prediction (§3.3.1). Wide front ends must predict several
+// branches per fetch block in one cycle. gshare.fast extends naturally:
+// consecutive branches' candidate counters already sit near one another in
+// the prefetched PHT buffer, so enlarging the buffer lets one access serve b
+// predictions. All predictions within a block necessarily use the
+// speculative history as of the start of the block — they cannot see each
+// other's outcomes — which is the same stale-history compromise the EV8
+// predictor makes across fetch blocks, reported to cost little accuracy.
+
+// PredictBlock predicts up to len(pcs) branches fetched in the same cycle.
+// The PHT row is shared (prefetched with the block-start history), and each
+// prediction is chained into the speculative history used to select the
+// next one within the block — the same New History Bit forwarding the
+// predictor pipeline performs across stages, applied within a block. The
+// residual accuracy cost of block prediction is therefore only the stale
+// row address plus any wrong within-block predictions polluting the chain.
+// Call UpdateBlock with the outcomes before the next block.
+func (g *GShareFast) PredictBlock(pcs []uint64) []bool {
+	preds := make([]bool, len(pcs))
+	snap := g.ghr.Snapshot()
+	for i, pc := range pcs {
+		preds[i] = g.pht.Taken(g.index(pc))
+		g.ghr.Push(preds[i])
+	}
+	g.ghr.Restore(snap)
+	g.lastBlockPreds = append(g.lastBlockPreds[:0], preds...)
+	return preds
+}
+
+// UpdateBlock resolves a block issued by PredictBlock: counters train at the
+// indices the predictions used (recomputed by replaying the predicted
+// within-block history), then the block's true outcomes enter the history
+// register and the fetch clock advances one cycle.
+func (g *GShareFast) UpdateBlock(pcs []uint64, takens []bool) {
+	if len(pcs) != len(takens) {
+		panic("core: UpdateBlock length mismatch")
+	}
+	preds := g.lastBlockPreds
+	if len(preds) != len(pcs) {
+		// UpdateBlock without a matching PredictBlock (tests, warm
+		// drivers): train along the true-outcome path.
+		preds = takens
+	}
+	snap := g.ghr.Snapshot()
+	for i, pc := range pcs {
+		idx := g.index(pc)
+		g.ghr.Push(preds[i])
+		if g.updateLag == 0 {
+			g.pht.Update(idx, takens[i])
+		} else {
+			g.pending = append(g.pending, pendingUpdate{index: idx, taken: takens[i]})
+		}
+	}
+	g.ghr.Restore(snap)
+	g.lastBlockPreds = g.lastBlockPreds[:0]
+	for g.updateLag > 0 && len(g.pending) > g.updateLag {
+		u := g.pending[0]
+		g.pending = g.pending[1:]
+		g.pht.Update(u.index, u.taken)
+	}
+	for _, t := range takens {
+		g.ghr.Push(t)
+		g.pushes++
+	}
+	g.recordHistory()
+	if !g.externalClock {
+		g.cycle++
+	}
+}
+
+// BlockBufferEntries returns the PHT buffer size required to predict up to
+// blockWidth branches per cycle with this predictor's latency: b·2^L entries
+// (§3.3.1's example: 8 branches per cycle at latency 3 needs 64 entries).
+func (g *GShareFast) BlockBufferEntries(blockWidth int) int {
+	if blockWidth < 1 {
+		panic(fmt.Sprintf("core: block width %d must be >= 1", blockWidth))
+	}
+	need := blockWidth << uint(g.latency)
+	if min := 1 << g.bufBits; need < min {
+		return min
+	}
+	return need
+}
+
+// BlockSizeBytes returns the predictor's state size when configured for
+// blockWidth predictions per cycle: the base predictor plus the enlarged
+// buffer and its per-stage checkpoint copies, plus the widened Branch
+// Present and New History latches (blockWidth bits per pipeline stage each).
+func (g *GShareFast) BlockSizeBytes(blockWidth int) int {
+	bufferBytes := g.BlockBufferEntries(blockWidth) * 2 / 8
+	checkpoints := g.latency + 1
+	latchBits := 2 * blockWidth * (g.latency + 1)
+	return g.pht.SizeBytes() + g.ghr.SizeBytes() +
+		bufferBytes*(1+checkpoints) + (latchBits+7)/8
+}

@@ -1,0 +1,71 @@
+package counter
+
+import "fmt"
+
+// ArrayN is a packed array of n-bit unsigned saturating counters for widths
+// 1..8, used where predictors call for non-2-bit counters (the Alpha 21264
+// local PHT uses 3-bit counters; meta tables sometimes use 1-bit hints).
+type ArrayN struct {
+	v    []uint8
+	bits uint
+	max  uint8
+	n    int
+}
+
+// NewArrayN returns an array of n counters of the given bit width, all
+// initialized to init.
+func NewArrayN(n int, bits uint, init uint8) *ArrayN {
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("counter: invalid ArrayN width %d", bits))
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("counter: invalid array size %d", n))
+	}
+	max := uint8(1)<<bits - 1
+	if init > max {
+		panic(fmt.Sprintf("counter: init %d exceeds max %d", init, max))
+	}
+	a := &ArrayN{v: make([]uint8, n), bits: bits, max: max, n: n}
+	if init != 0 {
+		for i := range a.v {
+			a.v[i] = init
+		}
+	}
+	return a
+}
+
+// Len returns the number of counters.
+func (a *ArrayN) Len() int { return a.n }
+
+// Bits returns the per-counter width.
+func (a *ArrayN) Bits() uint { return a.bits }
+
+// SizeBytes returns the hardware state size (bits per counter, packed).
+func (a *ArrayN) SizeBytes() int { return (a.n*int(a.bits) + 7) / 8 }
+
+// Get returns counter i.
+func (a *ArrayN) Get(i int) uint8 { return a.v[i] }
+
+// Set stores v into counter i, clamping to the width.
+func (a *ArrayN) Set(i int, v uint8) {
+	if v > a.max {
+		v = a.max
+	}
+	a.v[i] = v
+}
+
+// Taken reports the direction predicted by counter i (upper half of range).
+func (a *ArrayN) Taken(i int) bool { return a.v[i] > a.max/2 }
+
+// Update increments counter i on taken, decrements otherwise, saturating.
+func (a *ArrayN) Update(i int, taken bool) {
+	if taken {
+		if a.v[i] < a.max {
+			a.v[i]++
+		}
+	} else {
+		if a.v[i] > 0 {
+			a.v[i]--
+		}
+	}
+}

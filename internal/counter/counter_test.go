@@ -1,0 +1,240 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSaturatingBounds(t *testing.T) {
+	c := NewSaturating(2, 0)
+	for i := 0; i < 10; i++ {
+		c.Dec()
+	}
+	if c.Value() != 0 {
+		t.Fatalf("Dec below zero: %d", c.Value())
+	}
+	for i := 0; i < 10; i++ {
+		c.Inc()
+	}
+	if c.Value() != 3 {
+		t.Fatalf("Inc above max: %d", c.Value())
+	}
+	if c.Max() != 3 {
+		t.Fatalf("Max = %d", c.Max())
+	}
+}
+
+func TestSaturatingTakenThreshold(t *testing.T) {
+	// 2-bit counter: 0,1 predict not-taken; 2,3 predict taken.
+	for v, want := range map[uint32]bool{0: false, 1: false, 2: true, 3: true} {
+		c := NewSaturating(2, v)
+		if c.Taken() != want {
+			t.Errorf("value %d Taken = %v, want %v", v, c.Taken(), want)
+		}
+	}
+}
+
+func TestSaturatingStrong(t *testing.T) {
+	for v, want := range map[uint32]bool{0: true, 1: false, 2: false, 3: true} {
+		c := NewSaturating(2, v)
+		if c.Strong() != want {
+			t.Errorf("value %d Strong = %v, want %v", v, c.Strong(), want)
+		}
+	}
+}
+
+func TestSaturatingUpdate(t *testing.T) {
+	c := NewSaturating(3, 4)
+	c.Update(true)
+	if c.Value() != 5 {
+		t.Fatalf("Update(true): %d", c.Value())
+	}
+	c.Update(false)
+	c.Update(false)
+	if c.Value() != 3 {
+		t.Fatalf("Update(false) twice: %d", c.Value())
+	}
+}
+
+func TestSaturatingInvalidConfig(t *testing.T) {
+	for _, tc := range []struct{ bits, init uint32 }{{0, 0}, {32, 0}, {2, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSaturating(%d,%d) did not panic", tc.bits, tc.init)
+				}
+			}()
+			NewSaturating(uint(tc.bits), tc.init)
+		}()
+	}
+}
+
+// referenceArray2 is a plain-slice model of Array2 for property testing.
+type referenceArray2 []uint32
+
+func TestArray2MatchesReference(t *testing.T) {
+	const n = 257 // deliberately not a multiple of 32
+	a := NewArray2(n, WeaklyNotTaken)
+	ref := make(referenceArray2, n)
+	for i := range ref {
+		ref[i] = WeaklyNotTaken
+	}
+	f := func(idxRaw uint16, taken bool) bool {
+		i := int(idxRaw) % n
+		a.Update(i, taken)
+		if taken {
+			if ref[i] < 3 {
+				ref[i]++
+			}
+		} else if ref[i] > 0 {
+			ref[i]--
+		}
+		return a.Get(i) == ref[i] && a.Taken(i) == (ref[i] >= 2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// The untouched neighbours must be unchanged.
+	for i := 0; i < n; i++ {
+		if a.Get(i) != ref[i] {
+			t.Fatalf("entry %d drifted: %d vs %d", i, a.Get(i), ref[i])
+		}
+	}
+}
+
+func TestArray2SetGetRoundTrip(t *testing.T) {
+	a := NewArray2(100, 0)
+	f := func(idxRaw uint8, v uint8) bool {
+		i := int(idxRaw) % 100
+		a.Set(i, uint32(v%4))
+		return a.Get(i) == uint32(v%4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArray2SizeBytes(t *testing.T) {
+	if got := NewArray2(4096, 0).SizeBytes(); got != 1024 {
+		t.Fatalf("4096 2-bit counters = %d bytes, want 1024", got)
+	}
+	if got := NewArray2(3, 0).SizeBytes(); got != 1 {
+		t.Fatalf("3 counters = %d bytes, want 1", got)
+	}
+}
+
+func TestArray2InitValue(t *testing.T) {
+	a := NewArray2(67, WeaklyTaken)
+	for i := 0; i < 67; i++ {
+		if a.Get(i) != WeaklyTaken {
+			t.Fatalf("entry %d initialized to %d", i, a.Get(i))
+		}
+	}
+}
+
+func TestArray2UpdateStrengthen(t *testing.T) {
+	a := NewArray2(4, WeaklyTaken) // predicts taken
+	a.UpdateStrengthen(0, true)    // agrees: strengthen
+	if a.Get(0) != StronglyTaken {
+		t.Fatalf("strengthen agreeing: %d", a.Get(0))
+	}
+	a.UpdateStrengthen(1, false) // disagrees: untouched
+	if a.Get(1) != WeaklyTaken {
+		t.Fatalf("strengthen disagreeing moved counter: %d", a.Get(1))
+	}
+}
+
+func TestArray2CloneRange(t *testing.T) {
+	a := NewArray2(64, 0)
+	for i := 0; i < 64; i++ {
+		a.Set(i, uint32(i%4))
+	}
+	dst := make([]uint32, 8)
+	a.CloneRange(16, 8, dst)
+	for i, v := range dst {
+		if v != uint32((16+i)%4) {
+			t.Fatalf("clone[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestArrayNBounds(t *testing.T) {
+	a := NewArrayN(10, 3, 3)
+	for i := 0; i < 20; i++ {
+		a.Update(0, true)
+	}
+	if a.Get(0) != 7 {
+		t.Fatalf("3-bit counter max: %d", a.Get(0))
+	}
+	for i := 0; i < 20; i++ {
+		a.Update(0, false)
+	}
+	if a.Get(0) != 0 {
+		t.Fatalf("3-bit counter min: %d", a.Get(0))
+	}
+}
+
+func TestArrayNTakenThreshold(t *testing.T) {
+	a := NewArrayN(8, 3, 0)
+	a.Set(0, 3)
+	a.Set(1, 4)
+	if a.Taken(0) {
+		t.Fatal("3-bit value 3 should predict not taken")
+	}
+	if !a.Taken(1) {
+		t.Fatal("3-bit value 4 should predict taken")
+	}
+}
+
+func TestArrayNSizeBytes(t *testing.T) {
+	if got := NewArrayN(1024, 3, 0).SizeBytes(); got != 384 {
+		t.Fatalf("1024 3-bit counters = %d bytes, want 384", got)
+	}
+}
+
+func TestSignedArraySaturation(t *testing.T) {
+	s := NewSignedArray(4, 8)
+	if s.Max() != 127 || s.Min() != -128 {
+		t.Fatalf("8-bit range [%d,%d]", s.Min(), s.Max())
+	}
+	s.Add(0, 1000)
+	if s.Get(0) != 127 {
+		t.Fatalf("saturate high: %d", s.Get(0))
+	}
+	s.Add(0, -1000)
+	if s.Get(0) != -128 {
+		t.Fatalf("saturate low: %d", s.Get(0))
+	}
+}
+
+func TestSignedArrayAddCommutes(t *testing.T) {
+	s := NewSignedArray(1, 8)
+	f := func(deltas []int8) bool {
+		s.Add(0, -s.Get(0)) // reset
+		sum := 0
+		for _, d := range deltas {
+			s.Add(0, int(d))
+			sum += int(d)
+			if sum > 127 {
+				sum = 127
+			}
+			if sum < -128 {
+				sum = -128
+			}
+			// Saturation is path-dependent; only check bounds here.
+			if s.Get(0) > 127 || s.Get(0) < -128 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignedArraySizeBytes(t *testing.T) {
+	if got := NewSignedArray(100, 8).SizeBytes(); got != 100 {
+		t.Fatalf("100 8-bit weights = %d bytes", got)
+	}
+}

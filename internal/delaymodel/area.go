@@ -1,0 +1,32 @@
+package delaymodel
+
+// Area estimation, standing in for the paper's §3.3.2 feasibility argument:
+// Intel's 90 nm announcement put 52 Mbit of SRAM cell array in 109 mm²
+// (§3.3.2 cites the press release), and the paper argues a ~100 KB branch
+// predictor would consume under 2% of a contemporary chip.
+
+// SRAMCellMM2PerMbit is the 90 nm SRAM density anchor: 109 mm² for 52 Mbit
+// of raw cell array.
+const SRAMCellMM2PerMbit = 109.0 / 52.0
+
+// ArrayOverhead multiplies raw cell area to account for decoders, sense
+// amplifiers and wiring; prediction tables are denser than caches (no tag
+// arrays in the PHTs), so a modest 1.5x is used.
+const ArrayOverhead = 1.5
+
+// ChipAreaMM2 is the reference die size class for the fraction estimate:
+// high-performance processors of the paper's horizon were 150-250 mm²
+// (the EV8 class this paper's predictors target).
+const ChipAreaMM2 = 180.0
+
+// AreaMM2 estimates the silicon area of a predictor table of the given
+// byte size at the 90 nm anchor.
+func AreaMM2(bytes int) float64 {
+	mbit := float64(bytes) * 8 / (1 << 20)
+	return mbit * SRAMCellMM2PerMbit * ArrayOverhead
+}
+
+// ChipFraction returns a predictor's estimated share of the reference die.
+func ChipFraction(bytes int) float64 {
+	return AreaMM2(bytes) / ChipAreaMM2
+}

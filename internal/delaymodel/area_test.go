@@ -1,0 +1,30 @@
+package delaymodel
+
+import "testing"
+
+func TestPaperAreaClaim(t *testing.T) {
+	// §3.3.2: a 100 KB branch predictor consumes less than 2% of the
+	// chip at the 90 nm SRAM density anchor.
+	if frac := ChipFraction(100 << 10); frac >= 0.02 {
+		t.Fatalf("100KB predictor = %.3f of chip, paper claims < 2%%", frac)
+	}
+	if frac := ChipFraction(100 << 10); frac <= 0 {
+		t.Fatal("degenerate area fraction")
+	}
+}
+
+func TestAreaScalesLinearly(t *testing.T) {
+	a := AreaMM2(64 << 10)
+	b := AreaMM2(128 << 10)
+	if b < 1.9*a || b > 2.1*a {
+		t.Fatalf("area not linear: %v -> %v", a, b)
+	}
+}
+
+func TestAreaAnchor(t *testing.T) {
+	// 52 Mbit of raw cell (no overhead) is 109 mm² by construction.
+	raw := AreaMM2(52<<20/8) / ArrayOverhead
+	if raw < 108 || raw > 110 {
+		t.Fatalf("anchor broken: %v mm²", raw)
+	}
+}

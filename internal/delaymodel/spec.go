@@ -1,0 +1,58 @@
+package delaymodel
+
+import (
+	"branchsim/internal/core"
+	"branchsim/internal/predictor"
+)
+
+// QuickPredictorMaxEntries is the largest quick predictor the paper grants a
+// single cycle: 2K entries, one doubling beyond the 1K-entry limit of the
+// delay model, an explicitly optimistic assumption (§4.1.2).
+const QuickPredictorMaxEntries = 2048
+
+// ForPredictor returns the access latency in cycles of a concrete predictor
+// under the paper's per-organization delay recipes. Predictors the model
+// does not recognize fall back to a single-table estimate of their total
+// size, which over-penalizes multi-bank designs — register new kinds here
+// instead of relying on it.
+func (m Model) ForPredictor(p predictor.Predictor) int {
+	switch v := p.(type) {
+	case *core.GShareFast:
+		// Pipelined: the effective prediction latency is one cycle by
+		// construction (§3.1). PHTReadCycles reports the hidden depth.
+		return 1
+	case *core.BiModeFast:
+		// Also pipelined (§5 reorganization).
+		return 1
+	case *predictor.YAGS:
+		bytes, entries := v.LargestTable()
+		return m.Cycles(Spec{Kind: KindBanked, LargestBytes: bytes, LargestEntrys: entries, Name: v.Name()})
+	case *predictor.Perceptron:
+		bytes, entries := v.LargestTable()
+		return m.Cycles(Spec{Kind: KindPerceptron, LargestBytes: bytes, LargestEntrys: entries, Name: v.Name()})
+	case *predictor.MultiComponent:
+		bytes, entries := v.LargestTable()
+		return m.Cycles(Spec{Kind: KindMultiTable, LargestBytes: bytes, LargestEntrys: entries, Name: v.Name()})
+	case *predictor.GSkew2Bc:
+		bytes, entries := v.LargestTable()
+		return m.Cycles(Spec{Kind: KindBanked, LargestBytes: bytes, LargestEntrys: entries, Name: v.Name()})
+	case *predictor.EV6:
+		bytes, entries := v.LargestTable()
+		return m.Cycles(Spec{Kind: KindMultiTable, LargestBytes: bytes, LargestEntrys: entries, Name: v.Name()})
+	case *predictor.BiMode:
+		bytes, entries := v.LargestTable()
+		return m.Cycles(Spec{Kind: KindBanked, LargestBytes: bytes, LargestEntrys: entries, Name: v.Name()})
+	case predictor.DelayFootprint:
+		bytes, entries := v.LargestTable()
+		return m.Cycles(Spec{Kind: KindSingleTable, LargestBytes: bytes, LargestEntrys: entries, Name: p.Name()})
+	default:
+		return m.Cycles(Spec{Kind: KindSingleTable, LargestBytes: p.SizeBytes(), LargestEntrys: p.SizeBytes() * 4, Name: p.Name()})
+	}
+}
+
+// PHTReadCycles returns the raw read latency of a PHT with the given number
+// of 2-bit counters — the latency gshare.fast must pipeline over (its
+// Config.Latency) and the latency a naive unpipelined gshare would expose.
+func (m Model) PHTReadCycles(entries int) int {
+	return m.TableCycles(entries*2/8, entries)
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"branchsim/internal/funcsim"
+	"branchsim/internal/pipeline"
+	"branchsim/internal/predictor"
+	"branchsim/internal/textplot"
+	"branchsim/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Insts is the dynamic instruction budget per benchmark; Warmup
+	// instructions are excluded from statistics. Zero selects the
+	// defaults (8M / 2M), the scaled-down equivalent of the paper's
+	// >1B-instruction runs with a 500M skip (the synthetic programs have
+	// no initialization phase and reach steady state much sooner).
+	Insts  int64
+	Warmup int64
+	// Parallel bounds concurrent simulations; zero means GOMAXPROCS.
+	Parallel int
+}
+
+func (o Options) normalize() Options {
+	if o.Insts <= 0 {
+		o.Insts = 8_000_000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = o.Insts / 4
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Outcome is a rendered experiment: tables, charts and notes, plus the raw
+// grids for programmatic checks (tests, EXPERIMENTS.md generation).
+type Outcome struct {
+	ID     string
+	Title  string
+	Tables []*textplot.Table
+	Charts []*textplot.Chart
+	Notes  []string
+}
+
+// Render returns the outcome as text.
+func (o *Outcome) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", o.ID, o.Title)
+	for _, t := range o.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, c := range o.Charts {
+		b.WriteString(c.Render())
+		b.WriteByte('\n')
+	}
+	for _, n := range o.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Table returns the outcome's table with the given title prefix, or nil.
+func (o *Outcome) Table(prefix string) *textplot.Table {
+	for _, t := range o.Tables {
+		if strings.HasPrefix(t.Title, prefix) {
+			return t
+		}
+	}
+	return nil
+}
+
+// forEach runs fn(i) for i in [0, n) on a bounded worker pool.
+func forEach(n, parallel int, fn func(i int)) {
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// accuracyRun builds a fresh predictor via build and measures its
+// misprediction percentage on prof.
+func accuracyRun(build func() predictor.Predictor, prof workload.Profile, opts Options) float64 {
+	res := funcsim.Run(build(), workload.New(prof), funcsim.Options{
+		MaxInsts:    opts.Insts,
+		WarmupInsts: opts.Warmup,
+	})
+	return res.MispredictPercent()
+}
+
+// timingRun builds a fresh predictor organization and measures IPC (and the
+// full result) on prof under the Table 1 machine.
+func timingRun(build func() predictor.Predictor, prof workload.Profile, opts Options) pipeline.Result {
+	sim := pipeline.New(pipeline.DefaultConfig(), build())
+	return sim.Run(workload.New(prof), opts.Insts, opts.Warmup)
+}
+
+// budgetLabel renders a budget the way the paper's x axes do.
+func budgetLabel(bytes int) string {
+	return fmt.Sprintf("%dK", bytes>>10)
+}
+
+// benchNames returns the short benchmark names in SPEC order.
+func benchNames() []string {
+	var names []string
+	for _, p := range workload.Profiles() {
+		names = append(names, p.ShortName())
+	}
+	return names
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Runner executes one experiment.
+type Runner func(Options) *Outcome
+
+// Registry maps experiment ids to their runners, in the order DESIGN.md's
+// experiment index lists them.
+var Registry = []struct {
+	ID     string
+	Runner Runner
+}{
+	{"figure1", Figure1},
+	{"table2", Table2},
+	{"figure2", Figure2},
+	{"figure5", Figure5},
+	{"figure6", Figure6},
+	{"figure7", Figure7},
+	{"figure8", Figure8},
+	{"delayedupdate", DelayedUpdate},
+	{"overriderate", OverrideRate},
+	{"multibranch", MultiBranch},
+	{"buffersweep", BufferSweep},
+	{"quicksweep", QuickSizeSweep},
+	{"depthsweep", DepthSweep},
+	{"fastfamily", FastFamily},
+	{"recovery", Recovery},
+}
+
+// IDs returns the registered experiment ids in run order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ByID returns the runner for an experiment id.
+func ByID(id string) (Runner, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Runner, nil
+		}
+	}
+	sorted := append([]string{}, IDs()...)
+	sort.Strings(sorted)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		id, strings.Join(sorted, ", "))
+}

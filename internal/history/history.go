@@ -1,0 +1,136 @@
+// Package history provides branch-history registers: the global history
+// shift register shared by gshare-style predictors, and per-branch local
+// history tables used by two-level and hybrid predictors.
+//
+// All histories in this repository are updated speculatively at prediction
+// time and repaired exactly on a misprediction, matching the paper's
+// optimistic assumption for complex predictors (§4.1.2) and the checkpointed
+// recovery mechanism of gshare.fast (§3.2). In the trace-driven simulators
+// only correct-path outcomes reach the predictor, which makes speculative
+// update with exact repair equivalent to in-order update with the true
+// outcome; Snapshot/Restore exist so that wrong-path-capable drivers and the
+// gshare.fast pipeline model can checkpoint precisely.
+package history
+
+import "fmt"
+
+// MaxGlobalBits is the longest supported global history. 64 bits covers every
+// configuration in the paper (gshare.fast at 512 KB uses 21 bits; the
+// perceptron predictor's longest published history is below 64).
+const MaxGlobalBits = 64
+
+// Global is a global branch-history shift register of up to 64 bits. The most
+// recent outcome occupies bit 0.
+type Global struct {
+	bits uint64
+	len  uint
+	mask uint64
+}
+
+// NewGlobal returns a global history register holding n outcome bits.
+func NewGlobal(n uint) *Global {
+	if n == 0 || n > MaxGlobalBits {
+		panic(fmt.Sprintf("history: invalid global history length %d", n))
+	}
+	var mask uint64
+	if n == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = 1<<n - 1
+	}
+	return &Global{len: n, mask: mask}
+}
+
+// Len returns the history length in bits.
+func (g *Global) Len() uint { return g.len }
+
+// Value returns the history bits; bit 0 is the most recent outcome.
+func (g *Global) Value() uint64 { return g.bits }
+
+// Push shifts in the outcome of the most recently predicted branch.
+func (g *Global) Push(taken bool) {
+	g.bits <<= 1
+	if taken {
+		g.bits |= 1
+	}
+	g.bits &= g.mask
+}
+
+// Bit returns history bit i (0 = most recent). Out-of-range bits are zero.
+func (g *Global) Bit(i uint) bool {
+	if i >= g.len {
+		return false
+	}
+	return g.bits>>i&1 == 1
+}
+
+// Snapshot returns the current register contents for later Restore.
+func (g *Global) Snapshot() uint64 { return g.bits }
+
+// Restore overwrites the register with a snapshot, repairing speculative
+// pollution after a misprediction.
+func (g *Global) Restore(snap uint64) { g.bits = snap & g.mask }
+
+// SizeBytes returns the hardware state size of the register.
+func (g *Global) SizeBytes() int { return (int(g.len) + 7) / 8 }
+
+// Local is a table of per-branch local history registers, indexed by a hash
+// of the branch PC (low-order word-address bits, as in the Alpha 21264).
+type Local struct {
+	table   []uint64
+	bits    uint
+	mask    uint64
+	idxMask uint64
+}
+
+// NewLocal returns a table of entries local histories of n bits each.
+// entries must be a power of two.
+func NewLocal(entries int, n uint) *Local {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("history: local table entries %d not a power of two", entries))
+	}
+	if n == 0 || n > MaxGlobalBits {
+		panic(fmt.Sprintf("history: invalid local history length %d", n))
+	}
+	var mask uint64
+	if n == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = 1<<n - 1
+	}
+	return &Local{
+		table:   make([]uint64, entries),
+		bits:    n,
+		mask:    mask,
+		idxMask: uint64(entries - 1),
+	}
+}
+
+// Entries returns the number of local history registers.
+func (l *Local) Entries() int { return len(l.table) }
+
+// Bits returns the per-entry history length.
+func (l *Local) Bits() uint { return l.bits }
+
+// index maps a branch PC to a table slot. Branch PCs are word-aligned in the
+// synthetic ISA, so the low two bits are dropped first.
+func (l *Local) index(pc uint64) uint64 { return (pc >> 2) & l.idxMask }
+
+// Get returns the local history for the branch at pc.
+func (l *Local) Get(pc uint64) uint64 { return l.table[l.index(pc)] }
+
+// Push shifts outcome taken into the local history for pc.
+func (l *Local) Push(pc uint64, taken bool) {
+	i := l.index(pc)
+	h := l.table[i] << 1
+	if taken {
+		h |= 1
+	}
+	l.table[i] = h & l.mask
+}
+
+// Set overwrites the local history for pc, used for exact repair.
+func (l *Local) Set(pc uint64, h uint64) { l.table[l.index(pc)] = h & l.mask }
+
+// SizeBytes returns the hardware state size of the whole table.
+func (l *Local) SizeBytes() int { return (len(l.table)*int(l.bits) + 7) / 8 }

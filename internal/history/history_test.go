@@ -1,0 +1,147 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobalPushOrder(t *testing.T) {
+	g := NewGlobal(8)
+	// Push T, N, T: bit0 (newest) = T, bit1 = N, bit2 = T.
+	g.Push(true)
+	g.Push(false)
+	g.Push(true)
+	if !g.Bit(0) || g.Bit(1) || !g.Bit(2) {
+		t.Fatalf("history bits wrong: %03b", g.Value())
+	}
+	if g.Value() != 0b101 {
+		t.Fatalf("value = %b", g.Value())
+	}
+}
+
+func TestGlobalMasking(t *testing.T) {
+	g := NewGlobal(4)
+	for i := 0; i < 100; i++ {
+		g.Push(true)
+	}
+	if g.Value() != 0xF {
+		t.Fatalf("4-bit history overflowed: %x", g.Value())
+	}
+	if g.Bit(4) {
+		t.Fatal("out-of-range bit reported set")
+	}
+}
+
+func TestGlobal64BitMask(t *testing.T) {
+	g := NewGlobal(64)
+	for i := 0; i < 100; i++ {
+		g.Push(true)
+	}
+	if g.Value() != ^uint64(0) {
+		t.Fatalf("64-bit history: %x", g.Value())
+	}
+}
+
+func TestGlobalSnapshotRestore(t *testing.T) {
+	g := NewGlobal(16)
+	f := func(pattern uint16, pollution uint8) bool {
+		for i := 0; i < 16; i++ {
+			g.Push(pattern>>i&1 == 1)
+		}
+		snap := g.Snapshot()
+		for i := 0; i < int(pollution%32); i++ {
+			g.Push(i%3 == 0)
+		}
+		g.Restore(snap)
+		return g.Value() == snap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalInvalidLength(t *testing.T) {
+	for _, n := range []uint{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGlobal(%d) did not panic", n)
+				}
+			}()
+			NewGlobal(n)
+		}()
+	}
+}
+
+func TestGlobalSizeBytes(t *testing.T) {
+	if got := NewGlobal(12).SizeBytes(); got != 2 {
+		t.Fatalf("12-bit history = %d bytes", got)
+	}
+}
+
+func TestLocalPerBranchIsolation(t *testing.T) {
+	l := NewLocal(16, 10)
+	// Two branches mapping to different slots must not interfere.
+	l.Push(0x1000, true)
+	l.Push(0x1004, false)
+	if l.Get(0x1000) != 1 {
+		t.Fatalf("branch A history: %b", l.Get(0x1000))
+	}
+	if l.Get(0x1004) != 0 {
+		t.Fatalf("branch B history: %b", l.Get(0x1004))
+	}
+}
+
+func TestLocalAliasing(t *testing.T) {
+	l := NewLocal(4, 8)
+	// PCs 16 entries apart alias in a 4-entry table (word-indexed).
+	a, b := uint64(0x1000), uint64(0x1000+4*4)
+	l.Push(a, true)
+	if l.Get(b) != l.Get(a) {
+		t.Fatal("aliased branches should share a history register")
+	}
+}
+
+func TestLocalMasking(t *testing.T) {
+	l := NewLocal(8, 6)
+	for i := 0; i < 100; i++ {
+		l.Push(0x40, true)
+	}
+	if l.Get(0x40) != 0x3F {
+		t.Fatalf("6-bit local history overflow: %x", l.Get(0x40))
+	}
+}
+
+func TestLocalSetRepairs(t *testing.T) {
+	l := NewLocal(8, 8)
+	l.Push(0x40, true)
+	l.Push(0x40, true)
+	snap := l.Get(0x40)
+	l.Push(0x40, false)
+	l.Set(0x40, snap)
+	if l.Get(0x40) != snap {
+		t.Fatal("Set did not restore")
+	}
+}
+
+func TestLocalInvalidConfig(t *testing.T) {
+	for _, tc := range []struct {
+		entries int
+		bits    uint
+	}{{0, 8}, {3, 8}, {8, 0}, {8, 65}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLocal(%d,%d) did not panic", tc.entries, tc.bits)
+				}
+			}()
+			NewLocal(tc.entries, tc.bits)
+		}()
+	}
+}
+
+func TestLocalSizeBytes(t *testing.T) {
+	if got := NewLocal(1024, 10).SizeBytes(); got != 1280 {
+		t.Fatalf("1K x 10-bit local histories = %d bytes, want 1280", got)
+	}
+}

@@ -1,0 +1,359 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"branchsim/internal/btb"
+	"branchsim/internal/cache"
+	"branchsim/internal/core"
+	"branchsim/internal/predictor"
+	"branchsim/internal/stats"
+	"branchsim/internal/trace"
+)
+
+// Sim is one timing simulation run: a core configuration, a branch
+// predictor organization, and the accumulated state of a trace replay.
+//
+// The model is an event-ordered scoreboard: instructions flow in program
+// order through fetch → dispatch → issue → complete → commit, with each
+// stage time computed from its structural and data constraints. This is the
+// classic trace-driven out-of-order timing model: wrong-path instructions
+// are not simulated; their cost appears as the redirect bubble between a
+// mispredicted branch's resolution and the arrival of correct-path
+// instructions, the same accounting the paper's modified SimpleScalar uses.
+type Sim struct {
+	cfg  Config
+	pred predictor.Predictor
+
+	over       *core.Overriding     // non-nil when pred is an overriding organization
+	cycleAware predictor.CycleAware // non-nil when pred wants the fetch clock
+	recovery   int                  // extra post-misprediction bubble (predictor.RecoveryCost)
+
+	icache *cache.Cache
+	dcache *cache.Cache
+	l2     *cache.Cache
+	btb    *btb.BTB
+
+	// Scoreboard state.
+	regReady   [trace.NumRegs]uint64
+	commitRing []uint64 // commit cycle of the i-th most recent instructions (ROB window)
+	robIdx     int
+
+	issueRing   slotRing // total issues per cycle
+	intRing     slotRing
+	memRing     slotRing
+	mulRing     slotRing
+	fpRing      slotRing
+	commitRing2 slotRing
+
+	// Fetch state.
+	fetchCycle     uint64 // cycle currently being fetched into
+	fetchUsed      int    // instructions fetched in fetchCycle
+	lastFetchBlock uint64 // current I-cache block address + 1 (0 = none)
+	lastCommit     uint64
+
+	// Statistics.
+	insts        int64
+	cycles       uint64
+	branches     stats.Rate // mispredictions / branches
+	overrides    stats.Rate
+	btbMisses    stats.Rate
+	fetchStall   uint64 // cycles fetch waited on redirects/bubbles (approximate attribution)
+	warmupInsts  int64
+	measBranches stats.Rate
+}
+
+// slotRing counts per-cycle resource usage over a sliding window.
+type slotRing struct {
+	cycle []uint64
+	count []uint16
+	limit uint16
+}
+
+const ringSize = 1 << 15
+
+func newSlotRing(limit int) slotRing {
+	return slotRing{
+		cycle: make([]uint64, ringSize),
+		count: make([]uint16, ringSize),
+		limit: uint16(limit),
+	}
+}
+
+// take reserves one slot at or after cycle t and returns the cycle used.
+func (r *slotRing) take(t uint64) uint64 {
+	for {
+		i := t & (ringSize - 1)
+		if r.cycle[i] != t {
+			r.cycle[i] = t
+			r.count[i] = 1
+			return t
+		}
+		if r.count[i] < r.limit {
+			r.count[i]++
+			return t
+		}
+		t++
+	}
+}
+
+// peekFree reports the first cycle at or after t with a free slot, without
+// reserving it.
+func (r *slotRing) peekFree(t uint64) uint64 {
+	for {
+		i := t & (ringSize - 1)
+		if r.cycle[i] != t || r.count[i] < r.limit {
+			return t
+		}
+		t++
+	}
+}
+
+// New returns a timing simulation of cfg using pred as the branch direction
+// predictor organization. Pass a *core.Overriding to model the overriding
+// delay-hiding scheme; a *core.GShareFast is driven with real fetch cycles;
+// any other predictor is treated as answering in a single cycle (the paper's
+// "no delay" idealization).
+func New(cfg Config, pred predictor.Predictor) *Sim {
+	if cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.CommitWidth <= 0 {
+		panic(fmt.Sprintf("pipeline: invalid widths in config %+v", cfg))
+	}
+	if cfg.ROBSize <= 0 {
+		panic("pipeline: ROB size must be positive")
+	}
+	s := &Sim{
+		cfg:         cfg,
+		pred:        pred,
+		icache:      cache.New(cfg.L1I),
+		dcache:      cache.New(cfg.L1D),
+		l2:          cache.New(cfg.L2),
+		btb:         btb.New(cfg.BTBEntries, cfg.BTBWays),
+		commitRing:  make([]uint64, cfg.ROBSize),
+		issueRing:   newSlotRing(cfg.IssueWidth),
+		intRing:     newSlotRing(cfg.IntPorts),
+		memRing:     newSlotRing(cfg.MemPorts),
+		mulRing:     newSlotRing(cfg.MulPorts),
+		fpRing:      newSlotRing(cfg.FPPorts),
+		commitRing2: newSlotRing(cfg.CommitWidth),
+	}
+	s.over, _ = pred.(*core.Overriding)
+	s.cycleAware, _ = pred.(predictor.CycleAware)
+	if rc, ok := pred.(predictor.RecoveryCost); ok {
+		s.recovery = rc.RecoveryPenalty()
+	}
+	return s
+}
+
+// Predictor returns the predictor organization under test.
+func (s *Sim) Predictor() predictor.Predictor { return s.pred }
+
+// icacheLatency returns the fetch stall for the block containing pc,
+// allocating through the hierarchy.
+func (s *Sim) icacheLatency(pc uint64) uint64 {
+	if s.icache.Access(pc) {
+		return 0
+	}
+	if s.l2.Access(pc) {
+		return uint64(s.cfg.L2Latency)
+	}
+	return uint64(s.cfg.MemLatency)
+}
+
+// dcacheLatency returns the load-use latency for addr.
+func (s *Sim) dcacheLatency(addr uint64) uint64 {
+	if s.dcache.Access(addr) {
+		return uint64(s.cfg.L1DLatency)
+	}
+	if s.l2.Access(addr) {
+		return uint64(s.cfg.L2Latency)
+	}
+	return uint64(s.cfg.MemLatency)
+}
+
+// advanceFetch moves the fetch point to at least cycle t, accounting the
+// skipped cycles as fetch stall.
+func (s *Sim) advanceFetch(t uint64) {
+	if t > s.fetchCycle {
+		s.fetchStall += t - s.fetchCycle
+		s.fetchCycle = t
+		s.fetchUsed = 0
+		s.lastFetchBlock = 0
+	}
+}
+
+// nextFetchCycle ends the current fetch cycle.
+func (s *Sim) breakFetch() {
+	s.fetchCycle++
+	s.fetchUsed = 0
+	s.lastFetchBlock = 0
+}
+
+// Run replays up to maxInsts instructions from g, with the first
+// warmupInsts excluded from the reported statistics (caches, predictors and
+// scoreboard state still train). It returns the result summary.
+func (s *Sim) Run(g trace.Generator, maxInsts, warmupInsts int64) Result {
+	s.warmupInsts = warmupInsts
+	var (
+		inst        trace.Inst
+		warmupCycle uint64
+	)
+	feDepth := uint64(s.cfg.frontEndDepth())
+	blockMask := ^uint64(int64(s.cfg.L1I.LineBytes) - 1)
+
+	for s.insts < maxInsts && g.Next(&inst) {
+		if s.insts == warmupInsts {
+			warmupCycle = s.lastCommit
+		}
+		s.insts++
+
+		// --- Fetch ---
+		if s.fetchUsed >= s.cfg.FetchWidth {
+			s.breakFetch()
+		}
+		block := inst.PC&blockMask + 1
+		if block != s.lastFetchBlock {
+			if s.lastFetchBlock != 0 {
+				// Crossing into a new block mid-cycle: fetch
+				// continues next cycle.
+				s.breakFetch()
+				block = inst.PC&blockMask + 1
+			}
+			if lat := s.icacheLatency(inst.PC); lat > 0 {
+				s.advanceFetch(s.fetchCycle + lat)
+			}
+			s.lastFetchBlock = block
+		}
+		fetchAt := s.fetchCycle
+		s.fetchUsed++
+
+		// Keep fetch from running unboundedly ahead of commit: the
+		// ROB bounds instructions in flight.
+		oldestCommit := s.commitRing[s.robIdx]
+		dispatchAt := fetchAt + feDepth
+		if dispatchAt <= oldestCommit {
+			// Structural stall: fetch (and the whole front end)
+			// backs up until the ROB drains.
+			if oldestCommit+1 > feDepth {
+				s.advanceFetch(oldestCommit + 1 - feDepth)
+			}
+			fetchAt = s.fetchCycle
+			dispatchAt = fetchAt + feDepth
+		}
+
+		// --- Branch prediction at fetch ---
+		var predictedTaken bool
+		isBranch := inst.Kind == trace.CondBranch
+		if isBranch {
+			if s.cycleAware != nil {
+				s.cycleAware.OnCycle(fetchAt)
+			}
+			predictedTaken = s.pred.Predict(inst.PC)
+			s.pred.Update(inst.PC, inst.Taken)
+			if s.over != nil {
+				if overrode, bubble := s.over.LastOverrode(); overrode {
+					// The slow predictor rejected the quick
+					// prediction: instructions fetched behind
+					// this branch are squashed and fetch
+					// restarts after the bubble.
+					s.overrides.Add(true)
+					s.advanceFetch(fetchAt + 1 + uint64(bubble))
+				} else {
+					s.overrides.Add(false)
+				}
+			}
+		}
+
+		// Taken control flow: BTB provides the target for predicted-
+		// taken branches; jumps resolve in decode at the latest.
+		if (isBranch && predictedTaken && inst.Taken) || inst.Kind == trace.Jump {
+			_, hit := s.btb.Lookup(inst.PC)
+			if !hit {
+				s.btbMisses.Add(true)
+				s.advanceFetch(fetchAt + 1 + uint64(s.cfg.BTBMissPenalty))
+			} else {
+				s.btbMisses.Add(false)
+				s.breakFetch() // taken-branch fetch break
+			}
+			s.btb.Insert(inst.PC, inst.Target)
+		}
+
+		// --- Issue ---
+		ready := dispatchAt
+		if inst.Src1 >= 0 {
+			if t := s.regReady[inst.Src1]; t > ready {
+				ready = t
+			}
+		}
+		if inst.Src2 >= 0 {
+			if t := s.regReady[inst.Src2]; t > ready {
+				ready = t
+			}
+		}
+		var port *slotRing
+		var execLat uint64
+		switch inst.Kind {
+		case trace.Load:
+			port, execLat = &s.memRing, s.dcacheLatency(inst.Addr)
+		case trace.Store:
+			port, execLat = &s.memRing, 1
+			// Stores retire from the store queue; the D-cache
+			// line is still allocated for subsequent loads.
+			s.dcache.Access(inst.Addr)
+		case trace.Mul:
+			port, execLat = &s.mulRing, uint64(s.cfg.MulLatency)
+		case trace.FPU:
+			port, execLat = &s.fpRing, uint64(s.cfg.FPLatency)
+		default: // ALU, CondBranch, Jump
+			port, execLat = &s.intRing, 1
+		}
+		issueAt := ready
+		for {
+			t := s.issueRing.peekFree(issueAt)
+			t = port.peekFree(t)
+			if t == issueAt {
+				break
+			}
+			issueAt = t
+		}
+		s.issueRing.take(issueAt)
+		port.take(issueAt)
+		completeAt := issueAt + execLat
+
+		if inst.Dst >= 0 {
+			s.regReady[inst.Dst] = completeAt
+		}
+
+		// --- Branch resolution ---
+		if isBranch {
+			miss := predictedTaken != inst.Taken
+			s.branches.Add(miss)
+			if s.insts > warmupInsts {
+				s.measBranches.Add(miss)
+			}
+			if miss {
+				// Redirect: correct-path fetch resumes once the
+				// branch resolves and the front end refills —
+				// plus any organization-specific recovery cost
+				// (e.g. an uncheckpointed PHT buffer refill).
+				s.advanceFetch(completeAt + 1 + uint64(s.recovery))
+			}
+		}
+
+		// --- Commit ---
+		commitAt := completeAt + 1
+		if commitAt < s.lastCommit {
+			commitAt = s.lastCommit // in-order commit
+		}
+		commitAt = s.commitRing2.take(commitAt)
+		if commitAt > s.lastCommit {
+			s.lastCommit = commitAt
+		}
+		s.commitRing[s.robIdx] = commitAt
+		s.robIdx = (s.robIdx + 1) % s.cfg.ROBSize
+	}
+
+	s.cycles = s.lastCommit - warmupCycle
+	r := s.result(warmupInsts)
+	r.Workload = g.Name()
+	return r
+}

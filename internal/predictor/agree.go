@@ -1,0 +1,100 @@
+package predictor
+
+import (
+	"fmt"
+
+	"branchsim/internal/counter"
+	"branchsim/internal/history"
+)
+
+// Agree implements the agree predictor of Sprangle, Chappell, Alsup and
+// Patt (ISCA 1997): each static branch carries a bias bit fixed at its
+// first execution, and the history-indexed PHT predicts *agreement* with
+// that bias instead of direction. Two branches aliasing in the PHT usually
+// both agree with their own biases, so interference becomes constructive —
+// the same aliasing battle bi-mode and YAGS fight with different weapons.
+type Agree struct {
+	agree   *counter.Array2
+	bias    *counter.ArrayN // 1-bit bias per entry
+	seen    *counter.ArrayN // 1-bit first-encounter flag
+	ghr     *history.Global
+	phtMask uint64
+	bMask   uint64
+	name    string
+}
+
+// NewAgree returns an agree predictor with the given agreement-PHT and
+// bias-table entry counts (powers of two).
+func NewAgree(phtEntries, biasEntries int) *Agree {
+	if phtEntries <= 0 || phtEntries&(phtEntries-1) != 0 {
+		panic(fmt.Sprintf("predictor: agree PHT entries %d not a power of two", phtEntries))
+	}
+	if biasEntries <= 0 || biasEntries&(biasEntries-1) != 0 {
+		panic(fmt.Sprintf("predictor: agree bias entries %d not a power of two", biasEntries))
+	}
+	a := &Agree{
+		// Initialize toward "agree": the whole point of the scheme.
+		agree:   counter.NewArray2(phtEntries, counter.WeaklyTaken),
+		bias:    counter.NewArrayN(biasEntries, 1, 0),
+		seen:    counter.NewArrayN(biasEntries, 1, 0),
+		ghr:     history.NewGlobal(log2(phtEntries)),
+		phtMask: uint64(phtEntries - 1),
+		bMask:   uint64(biasEntries - 1),
+	}
+	a.name = fmt.Sprintf("agree-%s", budgetName(a.SizeBytes()))
+	return a
+}
+
+// NewAgreeFromBudget gives most of budgetBytes to the agreement PHT with a
+// 4K-entry bias table (the original stores bias bits alongside BTB
+// entries).
+func NewAgreeFromBudget(budgetBytes int) *Agree {
+	pht := pow2Entries(budgetBytes-1024, 2, 16)
+	return NewAgree(pht, 4096)
+}
+
+func (a *Agree) phtIndex(pc uint64) int {
+	return int((a.ghr.Value() ^ (pc >> 2)) & a.phtMask)
+}
+
+func (a *Agree) biasIndex(pc uint64) int { return int((pc >> 2) & a.bMask) }
+
+// Predict implements Predictor.
+func (a *Agree) Predict(pc uint64) bool {
+	bi := a.biasIndex(pc)
+	if a.seen.Get(bi) == 0 {
+		// First encounter: static taken (backward-taken heuristic is
+		// unavailable without targets).
+		return true
+	}
+	bias := a.bias.Get(bi) == 1
+	agrees := a.agree.Taken(a.phtIndex(pc))
+	return agrees == bias
+}
+
+// Update implements Predictor. The bias bit latches the first outcome; the
+// agreement counter trains toward whether the outcome agreed with the bias.
+func (a *Agree) Update(pc uint64, taken bool) {
+	bi := a.biasIndex(pc)
+	if a.seen.Get(bi) == 0 {
+		a.seen.Set(bi, 1)
+		if taken {
+			a.bias.Set(bi, 1)
+		}
+	}
+	bias := a.bias.Get(bi) == 1
+	a.agree.Update(a.phtIndex(pc), taken == bias)
+	a.ghr.Push(taken)
+}
+
+// SizeBytes implements Predictor.
+func (a *Agree) SizeBytes() int {
+	return a.agree.SizeBytes() + a.bias.SizeBytes() + a.seen.SizeBytes() +
+		a.ghr.SizeBytes()
+}
+
+// Name implements Predictor.
+func (a *Agree) Name() string { return a.name }
+
+// LargestTable implements DelayFootprint.
+func (a *Agree) LargestTable() (int, int) { return a.agree.SizeBytes(), a.agree.Len() }

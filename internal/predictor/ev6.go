@@ -1,0 +1,137 @@
+package predictor
+
+import (
+	"fmt"
+
+	"branchsim/internal/counter"
+	"branchsim/internal/history"
+)
+
+// EV6 models the Alpha 21264 tournament predictor described in §2.1 of the
+// paper: a global component (4K-entry PHT indexed by 12 bits of global
+// history), a local component (1K 10-bit local histories indexing a 1K-entry
+// PHT of 3-bit counters), and a 4K-entry chooser PHT indexed by global
+// history that picks between them. The 21264 hides this predictor's latency
+// by overriding a line predictor, paying a bubble on disagreement — the
+// industrial motivation for the paper.
+type EV6 struct {
+	global  *counter.Array2
+	local   *counter.ArrayN
+	lhist   *history.Local
+	chooser *counter.Array2
+	ghr     *history.Global
+	gMask   uint64
+	cMask   uint64
+	name    string
+}
+
+// EV6Config sizes an EV6-style tournament predictor. The zero value is
+// replaced by the 21264 shipping configuration.
+type EV6Config struct {
+	GlobalEntries  int  // global PHT entries (power of two)
+	LocalEntries   int  // local history registers (power of two)
+	LocalBits      uint // local history length = log2(local PHT entries)
+	ChooserEntries int  // chooser PHT entries (power of two)
+}
+
+// Alpha21264 is the shipping EV6 configuration from Kessler (IEEE Micro 1999).
+var Alpha21264 = EV6Config{
+	GlobalEntries:  4096,
+	LocalEntries:   1024,
+	LocalBits:      10,
+	ChooserEntries: 4096,
+}
+
+// NewEV6 returns a tournament predictor with the given configuration.
+func NewEV6(cfg EV6Config) *EV6 {
+	if cfg == (EV6Config{}) {
+		cfg = Alpha21264
+	}
+	e := &EV6{
+		global:  counter.NewArray2(cfg.GlobalEntries, counter.WeaklyNotTaken),
+		local:   counter.NewArrayN(1<<cfg.LocalBits, 3, 3),
+		lhist:   history.NewLocal(cfg.LocalEntries, cfg.LocalBits),
+		chooser: counter.NewArray2(cfg.ChooserEntries, counter.WeaklyTaken),
+		ghr:     history.NewGlobal(log2(cfg.GlobalEntries)),
+		gMask:   uint64(cfg.GlobalEntries - 1),
+		cMask:   uint64(cfg.ChooserEntries - 1),
+	}
+	e.name = fmt.Sprintf("ev6-%s", budgetName(e.SizeBytes()))
+	return e
+}
+
+// NewEV6FromBudget scales the 21264 configuration up uniformly until it
+// fills budgetBytes.
+func NewEV6FromBudget(budgetBytes int) *EV6 {
+	cfg := Alpha21264
+	for {
+		next := EV6Config{
+			GlobalEntries:  cfg.GlobalEntries * 2,
+			LocalEntries:   cfg.LocalEntries * 2,
+			LocalBits:      cfg.LocalBits + 1,
+			ChooserEntries: cfg.ChooserEntries * 2,
+		}
+		if next.LocalBits > 16 || sizeOfEV6(next) > budgetBytes {
+			break
+		}
+		cfg = next
+	}
+	// Shrink below the 21264 baseline for tiny budgets.
+	for sizeOfEV6(cfg) > budgetBytes && cfg.GlobalEntries > 64 && cfg.LocalBits > 4 {
+		cfg = EV6Config{
+			GlobalEntries:  cfg.GlobalEntries / 2,
+			LocalEntries:   cfg.LocalEntries / 2,
+			LocalBits:      cfg.LocalBits - 1,
+			ChooserEntries: cfg.ChooserEntries / 2,
+		}
+	}
+	return NewEV6(cfg)
+}
+
+func sizeOfEV6(cfg EV6Config) int {
+	globalBytes := cfg.GlobalEntries * 2 / 8
+	localPHTBytes := (1 << cfg.LocalBits) * 3 / 8
+	lhistBytes := cfg.LocalEntries * int(cfg.LocalBits) / 8
+	chooserBytes := cfg.ChooserEntries * 2 / 8
+	return globalBytes + localPHTBytes + lhistBytes + chooserBytes
+}
+
+func (e *EV6) gIndex() int { return int(e.ghr.Value() & e.gMask) }
+func (e *EV6) cIndex() int { return int(e.ghr.Value() & e.cMask) }
+
+// Predict implements Predictor.
+func (e *EV6) Predict(pc uint64) bool {
+	if e.chooser.Taken(e.cIndex()) {
+		return e.global.Taken(e.gIndex())
+	}
+	return e.local.Taken(int(e.lhist.Get(pc)))
+}
+
+// Update implements Predictor. Both components always train; the chooser
+// trains toward whichever component was correct when exactly one was.
+func (e *EV6) Update(pc uint64, taken bool) {
+	gIdx, cIdx := e.gIndex(), e.cIndex()
+	lIdx := int(e.lhist.Get(pc))
+	gCorrect := e.global.Taken(gIdx) == taken
+	lCorrect := e.local.Taken(lIdx) == taken
+	e.global.Update(gIdx, taken)
+	e.local.Update(lIdx, taken)
+	if gCorrect != lCorrect {
+		e.chooser.Update(cIdx, gCorrect)
+	}
+	e.lhist.Push(pc, taken)
+	e.ghr.Push(taken)
+}
+
+// SizeBytes implements Predictor.
+func (e *EV6) SizeBytes() int {
+	return e.global.SizeBytes() + e.local.SizeBytes() + e.lhist.SizeBytes() +
+		e.chooser.SizeBytes() + e.ghr.SizeBytes()
+}
+
+// Name implements Predictor.
+func (e *EV6) Name() string { return e.name }
+
+// LargestTable implements DelayFootprint: the global PHT and chooser are the
+// largest arrays in every EV6 configuration generated here.
+func (e *EV6) LargestTable() (int, int) { return e.global.SizeBytes(), e.global.Len() }

@@ -1,0 +1,79 @@
+package predictor
+
+import (
+	"fmt"
+
+	"branchsim/internal/counter"
+	"branchsim/internal/history"
+)
+
+// Local is a two-level predictor with per-branch (local) history in the style
+// of Yeh and Patt's PAg: a first-level table of per-branch history registers
+// indexed by PC selects a second-level PHT entry indexed by that history.
+// Local predictors capture short repeating per-branch patterns (loop trip
+// counts, alternating branches) that global predictors see only through the
+// noise of interleaved branches.
+type Local struct {
+	hist *history.Local
+	pht  *counter.ArrayN
+	name string
+}
+
+// NewLocal returns a local two-level predictor with histEntries local
+// history registers of histBits bits, and a 2^histBits-entry PHT of
+// counterBits-bit counters. The Alpha 21264 local predictor is
+// NewLocal(1024, 10, 3).
+func NewLocal(histEntries int, histBits uint, counterBits uint) *Local {
+	if histBits == 0 || histBits > 20 {
+		panic(fmt.Sprintf("predictor: local history bits %d out of range", histBits))
+	}
+	l := &Local{
+		hist: history.NewLocal(histEntries, histBits),
+		pht:  counter.NewArrayN(1<<histBits, counterBits, uint8(1)<<(counterBits-1)-1),
+	}
+	l.name = fmt.Sprintf("local-%s", budgetName(l.SizeBytes()))
+	return l
+}
+
+// NewLocalFromBudget splits budgetBytes roughly evenly between the history
+// table and the PHT, with 10-bit histories scaled up as budget allows.
+func NewLocalFromBudget(budgetBytes int) *Local {
+	histBits := uint(10)
+	for histBits < 16 && (1<<(histBits+1))*2/8 <= budgetBytes/2 {
+		histBits++
+	}
+	phtBytes := (1 << histBits) * 2 / 8
+	rem := budgetBytes - phtBytes
+	if rem < 16 {
+		rem = 16
+	}
+	histEntries := pow2Entries(rem, int(histBits), 16)
+	return NewLocal(histEntries, histBits, 2)
+}
+
+// Predict implements Predictor.
+func (l *Local) Predict(pc uint64) bool {
+	return l.pht.Taken(int(l.hist.Get(pc)))
+}
+
+// Update implements Predictor.
+func (l *Local) Update(pc uint64, taken bool) {
+	l.pht.Update(int(l.hist.Get(pc)), taken)
+	l.hist.Push(pc, taken)
+}
+
+// SizeBytes implements Predictor.
+func (l *Local) SizeBytes() int { return l.hist.SizeBytes() + l.pht.SizeBytes() }
+
+// Name implements Predictor.
+func (l *Local) Name() string { return l.name }
+
+// LargestTable implements DelayFootprint. The local predictor reads two
+// tables in series; the PHT is the larger of the two in every configuration
+// generated here.
+func (l *Local) LargestTable() (int, int) {
+	if l.hist.SizeBytes() > l.pht.SizeBytes() {
+		return l.hist.SizeBytes(), l.hist.Entries()
+	}
+	return l.pht.SizeBytes(), l.pht.Len()
+}

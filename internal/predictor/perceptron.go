@@ -1,0 +1,224 @@
+package predictor
+
+import (
+	"fmt"
+
+	"branchsim/internal/counter"
+	"branchsim/internal/history"
+)
+
+// Perceptron implements the perceptron predictor of Jiménez and Lin (HPCA
+// 2001 / ACM TOCS 2002) in the global-plus-local configuration the paper
+// simulates (§4.1.1). Each table entry is a perceptron: a bias weight plus
+// one signed weight per history bit. The prediction is the sign of the dot
+// product of the weights with the history (outcomes as ±1); training bumps
+// each weight toward agreement whenever the prediction was wrong or the
+// output magnitude was below the threshold θ = ⌊1.93·h + 14⌋.
+//
+// Its strength is history length: h can far exceed log2(table entries), so
+// it captures correlations dozens of branches back that PHT-indexed schemes
+// cannot reach. Its weakness — central to the paper — is latency: the dot
+// product is an adder tree as deep as a multiplier (§2.2), which we model as
+// one extra cycle on top of the table access under the paper's optimistic
+// assumption (§4.1.5).
+type Perceptron struct {
+	weights *counter.SignedArray // n × (1+hg+hl), row-major
+	lhist   *history.Local
+	ghr     *history.Global
+	n       int
+	hg      uint
+	hl      uint
+	theta   int
+	name    string
+}
+
+// PerceptronConfig sizes a perceptron predictor.
+type PerceptronConfig struct {
+	Entries     int  // number of perceptrons
+	GlobalBits  uint // global history length
+	LocalBits   uint // local history length (0 disables the local part)
+	LocalTables int  // local history registers (power of two), if LocalBits > 0
+	WeightBits  uint // signed weight width, 8 in the published design
+}
+
+// NewPerceptron returns a perceptron predictor with the given configuration.
+func NewPerceptron(cfg PerceptronConfig) *Perceptron {
+	if cfg.Entries <= 0 {
+		panic("predictor: perceptron needs at least one entry")
+	}
+	if cfg.WeightBits == 0 {
+		cfg.WeightBits = 8
+	}
+	if cfg.GlobalBits == 0 || cfg.GlobalBits > history.MaxGlobalBits {
+		panic(fmt.Sprintf("predictor: perceptron global history %d out of range", cfg.GlobalBits))
+	}
+	h := cfg.GlobalBits + cfg.LocalBits
+	p := &Perceptron{
+		weights: counter.NewSignedArray(cfg.Entries*int(1+h), cfg.WeightBits),
+		ghr:     history.NewGlobal(cfg.GlobalBits),
+		n:       cfg.Entries,
+		hg:      cfg.GlobalBits,
+		hl:      cfg.LocalBits,
+		theta:   int(1.93*float64(h)) + 14,
+	}
+	if cfg.LocalBits > 0 {
+		if cfg.LocalTables == 0 {
+			cfg.LocalTables = 1024
+		}
+		p.lhist = history.NewLocal(cfg.LocalTables, cfg.LocalBits)
+	}
+	p.name = fmt.Sprintf("perceptron-%s", budgetName(p.SizeBytes()))
+	return p
+}
+
+// NewPerceptronFromBudget configures history lengths the way the published
+// budget sweeps do — global history grows with budget up to the high 50s,
+// with a 10-bit local component — and then fits as many perceptrons as the
+// remaining budget allows.
+func NewPerceptronFromBudget(budgetBytes int) *Perceptron {
+	kb := budgetBytes / 1024
+	var hg uint
+	switch {
+	case kb < 2:
+		hg = 12
+	case kb < 4:
+		hg = 18
+	case kb < 8:
+		hg = 24
+	case kb < 16:
+		hg = 28
+	case kb < 32:
+		hg = 34
+	case kb < 64:
+		hg = 36
+	case kb < 128:
+		hg = 40
+	case kb < 256:
+		hg = 44
+	case kb < 512:
+		hg = 48
+	default:
+		hg = 52
+	}
+	var hl uint = 10
+	if kb < 4 {
+		hl = 0
+	}
+	localTables := 1024
+	lhistBytes := localTables * int(hl) / 8
+	perEntry := int(1 + hg + hl) // bytes, 8-bit weights
+	entries := (budgetBytes - lhistBytes) / perEntry
+	if entries < 8 {
+		entries = 8
+	}
+	return NewPerceptron(PerceptronConfig{
+		Entries:     entries,
+		GlobalBits:  hg,
+		LocalBits:   hl,
+		LocalTables: localTables,
+		WeightBits:  8,
+	})
+}
+
+func (p *Perceptron) row(pc uint64) int {
+	return int(hashPC(pc) % uint64(p.n))
+}
+
+// output computes the perceptron dot product for the branch at pc.
+func (p *Perceptron) output(pc uint64) (y int, base int) {
+	base = p.row(pc) * int(1+p.hg+p.hl)
+	y = p.weights.Get(base)
+	g := p.ghr.Value()
+	for i := uint(0); i < p.hg; i++ {
+		w := p.weights.Get(base + 1 + int(i))
+		if g>>i&1 == 1 {
+			y += w
+		} else {
+			y -= w
+		}
+	}
+	if p.hl > 0 {
+		l := p.lhist.Get(pc)
+		off := base + 1 + int(p.hg)
+		for i := uint(0); i < p.hl; i++ {
+			w := p.weights.Get(off + int(i))
+			if l>>i&1 == 1 {
+				y += w
+			} else {
+				y -= w
+			}
+		}
+	}
+	return y, base
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc uint64) bool {
+	y, _ := p.output(pc)
+	return y >= 0
+}
+
+// Update implements Predictor.
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	y, base := p.output(pc)
+	pred := y >= 0
+	mag := y
+	if mag < 0 {
+		mag = -mag
+	}
+	if pred != taken || mag <= p.theta {
+		t := -1
+		if taken {
+			t = 1
+		}
+		p.weights.Add(base, t)
+		g := p.ghr.Value()
+		for i := uint(0); i < p.hg; i++ {
+			x := -1
+			if g>>i&1 == 1 {
+				x = 1
+			}
+			p.weights.Add(base+1+int(i), t*x)
+		}
+		if p.hl > 0 {
+			l := p.lhist.Get(pc)
+			off := base + 1 + int(p.hg)
+			for i := uint(0); i < p.hl; i++ {
+				x := -1
+				if l>>i&1 == 1 {
+					x = 1
+				}
+				p.weights.Add(off+int(i), t*x)
+			}
+		}
+	}
+	if p.hl > 0 {
+		p.lhist.Push(pc, taken)
+	}
+	p.ghr.Push(taken)
+}
+
+// SizeBytes implements Predictor.
+func (p *Perceptron) SizeBytes() int {
+	size := p.weights.SizeBytes() + p.ghr.SizeBytes()
+	if p.lhist != nil {
+		size += p.lhist.SizeBytes()
+	}
+	return size
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string { return p.name }
+
+// Entries returns the number of perceptrons.
+func (p *Perceptron) Entries() int { return p.n }
+
+// HistoryBits returns the global and local history lengths.
+func (p *Perceptron) HistoryBits() (global, local uint) { return p.hg, p.hl }
+
+// Theta returns the training threshold.
+func (p *Perceptron) Theta() int { return p.theta }
+
+// LargestTable implements DelayFootprint: the weight table. Its entries are
+// perceptron rows, which are few but wide.
+func (p *Perceptron) LargestTable() (int, int) { return p.weights.SizeBytes(), p.n }

@@ -1,0 +1,34 @@
+package predictor
+
+// Static predictors serve as floors in the evaluation and as the trivial
+// quick predictor in degenerate overriding configurations.
+
+// Taken always predicts taken.
+type Taken struct{}
+
+// Predict implements Predictor.
+func (Taken) Predict(uint64) bool { return true }
+
+// Update implements Predictor; static predictors hold no state.
+func (Taken) Update(uint64, bool) {}
+
+// SizeBytes implements Predictor.
+func (Taken) SizeBytes() int { return 0 }
+
+// Name implements Predictor.
+func (Taken) Name() string { return "always-taken" }
+
+// NotTaken always predicts not taken.
+type NotTaken struct{}
+
+// Predict implements Predictor.
+func (NotTaken) Predict(uint64) bool { return false }
+
+// Update implements Predictor.
+func (NotTaken) Update(uint64, bool) {}
+
+// SizeBytes implements Predictor.
+func (NotTaken) SizeBytes() int { return 0 }
+
+// Name implements Predictor.
+func (NotTaken) Name() string { return "always-not-taken" }

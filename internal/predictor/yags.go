@@ -1,0 +1,161 @@
+package predictor
+
+import (
+	"fmt"
+
+	"branchsim/internal/counter"
+	"branchsim/internal/history"
+)
+
+// YAGS implements the "yet another global scheme" predictor of Eden and
+// Mudge (MICRO-31, 1998), another point in the aliasing-reduction design
+// space the paper's Figure 1 predictors come from: a PC-indexed choice PHT
+// captures per-branch bias, and two small tagged caches store only the
+// *exceptions* — the history contexts in which a branch deviates from its
+// bias — so the expensive history-indexed storage is spent where it pays.
+type YAGS struct {
+	choice  *counter.Array2
+	tCache  *yagsCache // exceptions for not-taken-biased branches
+	ntCache *yagsCache // exceptions for taken-biased branches
+	ghr     *history.Global
+	chMask  uint64
+	name    string
+}
+
+// yagsCache is a direction cache: 2-bit counters with partial tags.
+type yagsCache struct {
+	ctr     *counter.Array2
+	tags    []uint8
+	mask    uint64
+	tagBits uint
+}
+
+func newYagsCache(entries int, init uint32) *yagsCache {
+	return &yagsCache{
+		ctr:     counter.NewArray2(entries, init),
+		tags:    make([]uint8, entries),
+		mask:    uint64(entries - 1),
+		tagBits: 8,
+	}
+}
+
+func (c *yagsCache) index(pc, hist uint64) int { return int((hist ^ (pc >> 2)) & c.mask) }
+
+func (c *yagsCache) tag(pc uint64) uint8 { return uint8(pc>>2) ^ uint8(pc>>10) }
+
+// lookup returns the cached direction for (pc, hist) and whether the tag
+// matched.
+func (c *yagsCache) lookup(pc, hist uint64) (taken, hit bool) {
+	i := c.index(pc, hist)
+	if c.tags[i] != c.tag(pc) {
+		return false, false
+	}
+	return c.ctr.Taken(i), true
+}
+
+// train updates a hit entry, and insert allocates (overwriting) an entry.
+func (c *yagsCache) train(pc, hist uint64, taken bool) {
+	c.ctr.Update(c.index(pc, hist), taken)
+}
+
+func (c *yagsCache) insert(pc, hist uint64, taken bool) {
+	i := c.index(pc, hist)
+	c.tags[i] = c.tag(pc)
+	if taken {
+		c.ctr.Set(i, counter.WeaklyTaken)
+	} else {
+		c.ctr.Set(i, counter.WeaklyNotTaken)
+	}
+}
+
+func (c *yagsCache) sizeBytes() int {
+	return c.ctr.SizeBytes() + len(c.tags)*int(c.tagBits)/8
+}
+
+// NewYAGS returns a YAGS predictor with the given choice PHT and per-cache
+// entry counts (powers of two).
+func NewYAGS(choiceEntries, cacheEntries int) *YAGS {
+	if choiceEntries <= 0 || choiceEntries&(choiceEntries-1) != 0 {
+		panic(fmt.Sprintf("predictor: yags choice entries %d not a power of two", choiceEntries))
+	}
+	if cacheEntries <= 0 || cacheEntries&(cacheEntries-1) != 0 {
+		panic(fmt.Sprintf("predictor: yags cache entries %d not a power of two", cacheEntries))
+	}
+	y := &YAGS{
+		choice:  counter.NewArray2(choiceEntries, counter.WeaklyTaken),
+		tCache:  newYagsCache(cacheEntries, counter.WeaklyTaken),
+		ntCache: newYagsCache(cacheEntries, counter.WeaklyNotTaken),
+		ghr:     history.NewGlobal(log2(cacheEntries)),
+		chMask:  uint64(choiceEntries - 1),
+	}
+	y.name = fmt.Sprintf("yags-%s", budgetName(y.SizeBytes()))
+	return y
+}
+
+// NewYAGSFromBudget splits budgetBytes between the choice PHT (about a
+// third) and the two tagged caches.
+func NewYAGSFromBudget(budgetBytes int) *YAGS {
+	// A cache entry costs 2+8 bits; two caches.
+	cache := pow2Entries(budgetBytes/3, 10, 16)
+	choice := pow2Entries(budgetBytes/3, 2, 16)
+	return NewYAGS(choice, cache)
+}
+
+// components evaluates the choice direction and the exception lookup.
+func (y *YAGS) components(pc uint64) (choiceIdx int, bias bool, excTaken, excHit bool) {
+	choiceIdx = int(pcIndex(pc, y.chMask))
+	bias = y.choice.Taken(choiceIdx)
+	hist := y.ghr.Value()
+	if bias {
+		excTaken, excHit = y.ntCache.lookup(pc, hist)
+	} else {
+		excTaken, excHit = y.tCache.lookup(pc, hist)
+	}
+	return choiceIdx, bias, excTaken, excHit
+}
+
+// Predict implements Predictor.
+func (y *YAGS) Predict(pc uint64) bool {
+	_, bias, excTaken, excHit := y.components(pc)
+	if excHit {
+		return excTaken
+	}
+	return bias
+}
+
+// Update implements Predictor, following the published policy: the cache
+// opposite the bias trains on a hit and allocates when the bias
+// mispredicts; the choice PHT trains as a bimodal except when an exception
+// hit correctly overrode it.
+func (y *YAGS) Update(pc uint64, taken bool) {
+	choiceIdx, bias, excTaken, excHit := y.components(pc)
+	hist := y.ghr.Value()
+	cache := y.ntCache
+	if !bias {
+		cache = y.tCache
+	}
+	if excHit {
+		cache.train(pc, hist, taken)
+	} else if taken != bias {
+		cache.insert(pc, hist, taken)
+	}
+	overrodeCorrectly := excHit && excTaken == taken && excTaken != bias
+	if !overrodeCorrectly {
+		y.choice.Update(choiceIdx, taken)
+	}
+	y.ghr.Push(taken)
+}
+
+// SizeBytes implements Predictor.
+func (y *YAGS) SizeBytes() int {
+	return y.choice.SizeBytes() + y.tCache.sizeBytes() + y.ntCache.sizeBytes() +
+		y.ghr.SizeBytes()
+}
+
+// Name implements Predictor.
+func (y *YAGS) Name() string { return y.name }
+
+// LargestTable implements DelayFootprint: the tagged caches dominate.
+func (y *YAGS) LargestTable() (int, int) {
+	return y.tCache.sizeBytes(), y.tCache.ctr.Len()
+}

@@ -1,0 +1,147 @@
+// Package results serializes experiment outcomes to JSON and compares two
+// result files — the regression-tracking layer for the reproduction
+// harness. A saved baseline lets calibration or refactoring work detect
+// when a table or figure moved beyond tolerance.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"branchsim/internal/experiments"
+)
+
+// File is a set of serialized experiment outcomes plus run metadata.
+type File struct {
+	// Label identifies the run ("baseline-2026-07", "after-fix-123").
+	Label string `json:"label,omitempty"`
+	// Insts and Warmup are the per-benchmark instruction budgets used.
+	Insts  int64 `json:"insts"`
+	Warmup int64 `json:"warmup"`
+	// Experiments holds the outcomes in run order.
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Experiment is one serialized outcome.
+type Experiment struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Tables []Table  `json:"tables"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+// Table is one serialized result grid.
+type Table struct {
+	Title     string      `json:"title"`
+	RowHeader string      `json:"rowHeader,omitempty"`
+	Rows      []string    `json:"rows"`
+	Cols      []string    `json:"cols"`
+	Values    [][]float64 `json:"values"`
+}
+
+// FromOutcome converts an experiment outcome for serialization.
+func FromOutcome(o *experiments.Outcome) Experiment {
+	e := Experiment{ID: o.ID, Title: o.Title, Notes: o.Notes}
+	for _, t := range o.Tables {
+		e.Tables = append(e.Tables, Table{
+			Title:     t.Title,
+			RowHeader: t.RowHeader,
+			Rows:      t.Rows,
+			Cols:      t.Cols,
+			Values:    t.Values,
+		})
+	}
+	return e
+}
+
+// Save writes the file as indented JSON.
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("results: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a result file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("results: parse %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Diff is one cell-level difference between two runs.
+type Diff struct {
+	Experiment string
+	Table      string
+	Row, Col   string
+	Old, New   float64
+	// Rel is the relative change |new-old| / max(|old|, floor).
+	Rel float64
+}
+
+// String renders a diff line.
+func (d Diff) String() string {
+	return fmt.Sprintf("%s / %s [%s, %s]: %.4f -> %.4f (%+.1f%%)",
+		d.Experiment, d.Table, d.Row, d.Col, d.Old, d.New, 100*(d.New-d.Old)/math.Max(math.Abs(d.Old), 1e-9))
+}
+
+// Compare reports every cell whose relative change exceeds tol, plus
+// structural differences (missing experiments/tables or shape changes) as
+// diffs with NaN values. The relative change uses a small absolute floor so
+// near-zero cells do not explode.
+func Compare(old, new *File, tol float64) []Diff {
+	const floor = 0.05
+	var diffs []Diff
+	oldByID := map[string]Experiment{}
+	for _, e := range old.Experiments {
+		oldByID[e.ID] = e
+	}
+	for _, ne := range new.Experiments {
+		oe, ok := oldByID[ne.ID]
+		if !ok {
+			diffs = append(diffs, Diff{Experiment: ne.ID, Table: "(new experiment)", Old: math.NaN(), New: math.NaN()})
+			continue
+		}
+		oldTables := map[string]Table{}
+		for _, t := range oe.Tables {
+			oldTables[t.Title] = t
+		}
+		for _, nt := range ne.Tables {
+			ot, ok := oldTables[nt.Title]
+			if !ok {
+				diffs = append(diffs, Diff{Experiment: ne.ID, Table: nt.Title + " (new table)", Old: math.NaN(), New: math.NaN()})
+				continue
+			}
+			if len(ot.Rows) != len(nt.Rows) || len(ot.Cols) != len(nt.Cols) {
+				diffs = append(diffs, Diff{Experiment: ne.ID, Table: nt.Title + " (shape changed)", Old: math.NaN(), New: math.NaN()})
+				continue
+			}
+			for i := range nt.Rows {
+				for j := range nt.Cols {
+					ov, nv := ot.Values[i][j], nt.Values[i][j]
+					if math.IsNaN(ov) && math.IsNaN(nv) {
+						continue
+					}
+					rel := math.Abs(nv-ov) / math.Max(math.Abs(ov), floor)
+					if rel > tol {
+						diffs = append(diffs, Diff{
+							Experiment: ne.ID, Table: nt.Title,
+							Row: nt.Rows[i], Col: nt.Cols[j],
+							Old: ov, New: nv, Rel: rel,
+						})
+					}
+				}
+			}
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,123 @@
+package results
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"branchsim/internal/experiments"
+	"branchsim/internal/textplot"
+)
+
+func sample(v float64) *File {
+	return &File{
+		Label: "test",
+		Insts: 1000,
+		Experiments: []Experiment{{
+			ID:    "figure5",
+			Title: "demo",
+			Tables: []Table{{
+				Title: "t1",
+				Rows:  []string{"16K", "32K"},
+				Cols:  []string{"a", "b"},
+				Values: [][]float64{
+					{1.0, 2.0},
+					{3.0, v},
+				},
+			}},
+		}},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	f := sample(4.0)
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "test" || got.Insts != 1000 {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if got.Experiments[0].Tables[0].Values[1][1] != 4.0 {
+		t.Fatal("values lost")
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	if diffs := Compare(sample(4), sample(4), 0.01); len(diffs) != 0 {
+		t.Fatalf("identical files diff: %v", diffs)
+	}
+}
+
+func TestCompareDetectsChange(t *testing.T) {
+	diffs := Compare(sample(4), sample(5), 0.10)
+	if len(diffs) != 1 {
+		t.Fatalf("want 1 diff, got %v", diffs)
+	}
+	d := diffs[0]
+	if d.Row != "32K" || d.Col != "b" || d.Old != 4 || d.New != 5 {
+		t.Fatalf("wrong diff: %+v", d)
+	}
+	if d.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	// 4 -> 4.2 is a 5% change: inside a 10% tolerance, outside 2%.
+	if diffs := Compare(sample(4), sample(4.2), 0.10); len(diffs) != 0 {
+		t.Fatalf("within tolerance flagged: %v", diffs)
+	}
+	if diffs := Compare(sample(4), sample(4.2), 0.02); len(diffs) != 1 {
+		t.Fatal("outside tolerance missed")
+	}
+}
+
+func TestCompareStructural(t *testing.T) {
+	old := sample(4)
+	new := sample(4)
+	new.Experiments[0].ID = "figure7"
+	diffs := Compare(old, new, 0.01)
+	if len(diffs) != 1 || !math.IsNaN(diffs[0].Old) {
+		t.Fatalf("structural diff not reported: %v", diffs)
+	}
+}
+
+func TestCompareShapeChange(t *testing.T) {
+	old := sample(4)
+	new := sample(4)
+	new.Experiments[0].Tables[0].Rows = []string{"16K"}
+	new.Experiments[0].Tables[0].Values = new.Experiments[0].Tables[0].Values[:1]
+	diffs := Compare(old, new, 0.01)
+	if len(diffs) != 1 {
+		t.Fatalf("shape change not reported: %v", diffs)
+	}
+}
+
+func TestFromOutcome(t *testing.T) {
+	out := &experiments.Outcome{
+		ID:    "x",
+		Title: "y",
+		Tables: []*textplot.Table{{
+			Title:  "t",
+			Rows:   []string{"r"},
+			Cols:   []string{"c"},
+			Values: [][]float64{{7}},
+		}},
+		Notes: []string{"n"},
+	}
+	e := FromOutcome(out)
+	if e.ID != "x" || len(e.Tables) != 1 || e.Tables[0].Values[0][0] != 7 {
+		t.Fatalf("conversion lost data: %+v", e)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "none.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

@@ -1,0 +1,179 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: streaming rate counters and the arithmetic and harmonic means
+// the paper reports (arithmetic for misprediction rates, harmonic for IPC).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rate counts events against a base population (e.g. mispredictions against
+// predicted branches).
+type Rate struct {
+	Events int64
+	Total  int64
+}
+
+// Add records one observation; hit marks it as an event.
+func (r *Rate) Add(hit bool) {
+	r.Total++
+	if hit {
+		r.Events++
+	}
+}
+
+// AddN records n observations of which events were hits.
+func (r *Rate) AddN(events, n int64) {
+	r.Events += events
+	r.Total += n
+}
+
+// Value returns events/total, or 0 for an empty rate.
+func (r *Rate) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Events) / float64(r.Total)
+}
+
+// Percent returns the rate as a percentage.
+func (r *Rate) Percent() float64 { return 100 * r.Value() }
+
+// String renders the rate as "events/total (pp.pp%)".
+func (r *Rate) String() string {
+	return fmt.Sprintf("%d/%d (%.2f%%)", r.Events, r.Total, r.Percent())
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs. The paper reports IPC as a
+// harmonic mean over benchmarks, which weights each benchmark by equal work.
+// It returns 0 for an empty slice and panics on non-positive values, which
+// have no harmonic mean.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: harmonic mean of non-positive value %g", x))
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s
+}
+
+// GeometricMean returns the geometric mean of xs, used by some ablation
+// reports. It returns 0 for an empty slice and panics on non-positive values.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geometric mean of non-positive value %g", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median of xs (average of the two central elements for
+// even lengths). It does not modify xs.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Histogram is a fixed-bucket counting histogram for integer observations,
+// used for pipeline-occupancy and run-length diagnostics.
+type Histogram struct {
+	Buckets []int64
+	Over    int64 // observations beyond the last bucket
+	Count   int64
+	Sum     int64
+}
+
+// NewHistogram returns a histogram with n buckets covering values 0..n-1.
+func NewHistogram(n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	return &Histogram{Buckets: make([]int64, n)}
+}
+
+// Add records one observation of value v (negative values count as 0).
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.Count++
+	h.Sum += int64(v)
+	if v >= len(h.Buckets) {
+		h.Over++
+		return
+	}
+	h.Buckets[v]++
+}
+
+// Mean returns the mean observation value.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns the smallest bucket value v such that at least p (0..1)
+// of the observations are <= v. Observations beyond the last bucket report
+// len(Buckets).
+func (h *Histogram) Percentile(p float64) int {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p * float64(h.Count)))
+	var cum int64
+	for v, c := range h.Buckets {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.Buckets)
+}

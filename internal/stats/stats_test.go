@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRate(t *testing.T) {
+	var r Rate
+	if r.Value() != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	r.Add(true)
+	r.Add(false)
+	r.Add(false)
+	r.Add(true)
+	if r.Value() != 0.5 || r.Percent() != 50 {
+		t.Fatalf("rate = %v", r.Value())
+	}
+	r.AddN(2, 4)
+	if r.Events != 4 || r.Total != 8 {
+		t.Fatalf("AddN: %d/%d", r.Events, r.Total)
+	}
+	if r.String() != "4/8 (50.00%)" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if HarmonicMean(nil) != 0 {
+		t.Fatal("empty harmonic mean")
+	}
+	got := HarmonicMean([]float64{1, 2, 4})
+	want := 3.0 / (1 + 0.5 + 0.25)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("harmonic = %v, want %v", got, want)
+	}
+}
+
+func TestHarmonicMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero value")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+func TestMeanInequalities(t *testing.T) {
+	// For positive values: harmonic <= geometric <= arithmetic.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1
+		}
+		h, g, a := HarmonicMean(xs), GeometricMean(xs), Mean(xs)
+		const eps = 1e-9
+		return h <= g+eps && g <= a+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeansOfConstant(t *testing.T) {
+	xs := []float64{3, 3, 3, 3}
+	for name, got := range map[string]float64{
+		"arithmetic": Mean(xs),
+		"harmonic":   HarmonicMean(xs),
+		"geometric":  GeometricMean(xs),
+	} {
+		if math.Abs(got-3) > 1e-12 {
+			t.Errorf("%s mean of constant 3 = %v", name, got)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-element stddev")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("median mutated input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for v := 0; v < 10; v++ {
+		h.Add(v)
+	}
+	h.Add(50) // overflow bucket
+	h.Add(-3) // clamps to 0
+	if h.Count != 12 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Over != 1 {
+		t.Fatalf("over = %d", h.Over)
+	}
+	if h.Buckets[0] != 2 {
+		t.Fatalf("bucket 0 = %d", h.Buckets[0])
+	}
+	if p := h.Percentile(0.5); p < 4 || p > 6 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(1.0); p != 10 {
+		t.Fatalf("p100 with overflow = %d, want len(buckets)", p)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(100)
+	h.Add(10)
+	h.Add(20)
+	if h.Mean() != 15 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}

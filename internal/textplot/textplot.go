@@ -1,0 +1,157 @@
+// Package textplot renders the experiment results as plain-text tables and
+// line charts, standing in for the paper's figures in terminal output and
+// in EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders a labelled grid of values.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// RowHeader labels the row-key column.
+	RowHeader string
+	// Rows and Cols label the grid.
+	Rows, Cols []string
+	// Values is indexed [row][col]; NaN renders as "-".
+	Values [][]float64
+	// Format is the fmt verb for values, default "%8.3f".
+	Format string
+}
+
+// Render returns the table as text.
+func (t *Table) Render() string {
+	format := t.Format
+	if format == "" {
+		format = "%8.3f"
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	rowW := len(t.RowHeader)
+	for _, r := range t.Rows {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	colW := make([]int, len(t.Cols))
+	for j, c := range t.Cols {
+		w := len(fmt.Sprintf(format, 0.0))
+		if len(c) > w {
+			w = len(c)
+		}
+		colW[j] = w
+	}
+	fmt.Fprintf(&b, "%-*s", rowW, t.RowHeader)
+	for j, c := range t.Cols {
+		fmt.Fprintf(&b, "  %*s", colW[j], c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", rowW, r)
+		for j := range t.Cols {
+			var cell string
+			if i < len(t.Values) && j < len(t.Values[i]) && !math.IsNaN(t.Values[i][j]) {
+				cell = fmt.Sprintf(format, t.Values[i][j])
+			} else {
+				cell = "-"
+			}
+			fmt.Fprintf(&b, "  %*s", colW[j], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart renders one or more named series against shared x labels as an
+// ASCII line chart, one mark per series.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Series []Series
+	// Height is the plot rows, default 16.
+	Height int
+}
+
+// Series is one named line.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+var marks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render returns the chart as text.
+func (c *Chart) Render() string {
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	colStride := 6
+	width := colStride*len(c.X) + 2
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := marks[si%len(marks)]
+		for xi, v := range s.Values {
+			if math.IsNaN(v) || xi >= len(c.X) {
+				continue
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			col := xi*colStride + 2
+			if row >= 0 && row < height && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, line := range grid {
+		y := hi - (hi-lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s\n", y, strings.TrimRight(string(line), " "))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  ", "")
+	for _, x := range c.X {
+		fmt.Fprintf(&b, "%-*s", colStride, x)
+	}
+	b.WriteByte('\n')
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%10c = %s\n", marks[si%len(marks)], s.Name)
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s(x: %s, y: %s)\n", "", c.XLabel, c.YLabel)
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:     "demo",
+		RowHeader: "budget",
+		Rows:      []string{"16K", "32K"},
+		Cols:      []string{"a", "b"},
+		Values:    [][]float64{{1.5, 2.5}, {3.5, 4.5}},
+	}
+	out := tab.Render()
+	for _, want := range []string{"demo", "budget", "16K", "32K", "1.500", "4.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestTableNaNRendersDash(t *testing.T) {
+	tab := &Table{
+		Rows:   []string{"r"},
+		Cols:   []string{"c"},
+		Values: [][]float64{{math.NaN()}},
+	}
+	if !strings.Contains(tab.Render(), "-") {
+		t.Fatal("NaN did not render as dash")
+	}
+}
+
+func TestTableCustomFormat(t *testing.T) {
+	tab := &Table{
+		Rows:   []string{"r"},
+		Cols:   []string{"c"},
+		Values: [][]float64{{7}},
+		Format: "%3.0f",
+	}
+	if !strings.Contains(tab.Render(), "  7") {
+		t.Fatalf("custom format ignored:\n%s", tab.Render())
+	}
+}
+
+func TestTableHeaderAlignment(t *testing.T) {
+	tab := &Table{
+		RowHeader: "x",
+		Rows:      []string{"verylongrowlabel"},
+		Cols:      []string{"col"},
+		Values:    [][]float64{{1}},
+	}
+	lines := strings.Split(strings.TrimRight(tab.Render(), "\n"), "\n")
+	// Column positions must line up: the value column starts at the same
+	// offset in both lines.
+	if len(lines[0]) < len("verylongrowlabel") {
+		t.Fatal("header row not padded to row label width")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "ipc",
+		X:      []string{"16K", "32K", "64K"},
+		XLabel: "budget",
+		YLabel: "IPC",
+		Series: []Series{
+			{Name: "fast", Values: []float64{1.0, 1.1, 1.2}},
+			{Name: "slow", Values: []float64{1.2, 1.1, 1.0}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"ipc", "fast", "slow", "16K", "64K", "*", "o", "budget"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartExtremesPlacement(t *testing.T) {
+	c := &Chart{
+		X:      []string{"a", "b"},
+		Series: []Series{{Name: "s", Values: []float64{0, 10}}},
+		Height: 10,
+	}
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	// The high value (10) must appear near the top, the low near the
+	// bottom.
+	top := -1
+	bottom := -1
+	for i, l := range lines {
+		if strings.Contains(l, "*") {
+			if top == -1 {
+				top = i
+			}
+			bottom = i
+		}
+	}
+	if top == -1 || bottom-top < 5 {
+		t.Fatalf("marks not spread vertically (rows %d..%d):\n%s", top, bottom, out)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	c := &Chart{X: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{math.NaN()}}}}
+	if c.Render() == "" {
+		t.Fatal("empty chart rendered nothing")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := &Chart{X: []string{"a", "b"}, Series: []Series{{Name: "s", Values: []float64{2, 2}}}}
+	if !strings.Contains(c.Render(), "*") {
+		t.Fatal("constant series dropped marks")
+	}
+}

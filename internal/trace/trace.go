@@ -1,0 +1,106 @@
+// Package trace defines the dynamic instruction stream interface between the
+// synthetic workload generators and the two simulators: the functional
+// branch-accuracy driver and the cycle-level pipeline model. It plays the
+// role SimpleScalar's instruction feed plays in the paper's methodology.
+package trace
+
+// Kind classifies an instruction for the timing model.
+type Kind uint8
+
+// Instruction kinds. The synthetic ISA is deliberately small: enough
+// structure for an out-of-order core's timing to be realistic (dependencies,
+// memory, multi-cycle ops, control flow) and nothing more.
+const (
+	// ALU is a single-cycle integer operation.
+	ALU Kind = iota
+	// Mul is a multi-cycle integer multiply/divide.
+	Mul
+	// FPU is a pipelined multi-cycle floating-point operation.
+	FPU
+	// Load reads memory at Addr into Dst.
+	Load
+	// Store writes memory at Addr.
+	Store
+	// CondBranch is a conditional branch with outcome Taken and target
+	// Target; it is the only kind the direction predictors see.
+	CondBranch
+	// Jump is an unconditional control transfer (jump, call, return).
+	Jump
+	numKinds
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case ALU:
+		return "alu"
+	case Mul:
+		return "mul"
+	case FPU:
+		return "fpu"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case CondBranch:
+		return "br"
+	case Jump:
+		return "jmp"
+	default:
+		return "?"
+	}
+}
+
+// NumKinds is the number of instruction kinds.
+const NumKinds = int(numKinds)
+
+// NoReg marks an absent register operand.
+const NoReg = int8(-1)
+
+// NumRegs is the architectural register count of the synthetic ISA.
+const NumRegs = 32
+
+// Inst is one dynamic instruction.
+type Inst struct {
+	// PC is the word-aligned instruction address.
+	PC uint64
+	// Kind classifies the instruction.
+	Kind Kind
+	// Src1 and Src2 are source registers, NoReg if absent.
+	Src1, Src2 int8
+	// Dst is the destination register, NoReg if absent.
+	Dst int8
+	// Addr is the effective address of a Load or Store.
+	Addr uint64
+	// Taken is the resolved direction of a CondBranch.
+	Taken bool
+	// Target is the destination of a taken CondBranch or a Jump.
+	Target uint64
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i *Inst) IsBranch() bool { return i.Kind == CondBranch }
+
+// Generator produces a dynamic instruction stream. Implementations must be
+// deterministic for a given construction seed.
+type Generator interface {
+	// Next fills inst with the next dynamic instruction and reports
+	// whether one was produced; false means end of stream.
+	Next(inst *Inst) bool
+	// Name identifies the workload.
+	Name() string
+}
+
+// CountBranches drains up to maxInsts instructions from g and returns the
+// instruction and conditional-branch counts — a convenience for tests and
+// workload characterization.
+func CountBranches(g Generator, maxInsts int64) (insts, branches int64) {
+	var in Inst
+	for insts < maxInsts && g.Next(&in) {
+		insts++
+		if in.IsBranch() {
+			branches++
+		}
+	}
+	return insts, branches
+}

@@ -1,0 +1,71 @@
+package trace
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		ALU: "alu", Mul: "mul", FPU: "fpu", Load: "load",
+		Store: "store", CondBranch: "br", Jump: "jmp",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(200).String() != "?" {
+		t.Error("unknown kind should render ?")
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	if !(&Inst{Kind: CondBranch}).IsBranch() {
+		t.Error("CondBranch not a branch")
+	}
+	for _, k := range []Kind{ALU, Jump, Load, Store} {
+		if (&Inst{Kind: k}).IsBranch() {
+			t.Errorf("%v reported as branch", k)
+		}
+	}
+}
+
+// fixedGen emits a fixed slice of instructions.
+type fixedGen struct {
+	insts []Inst
+	pos   int
+}
+
+func (g *fixedGen) Next(inst *Inst) bool {
+	if g.pos >= len(g.insts) {
+		return false
+	}
+	*inst = g.insts[g.pos]
+	g.pos++
+	return true
+}
+
+func (g *fixedGen) Name() string { return "fixed" }
+
+func TestCountBranches(t *testing.T) {
+	g := &fixedGen{insts: []Inst{
+		{Kind: ALU}, {Kind: CondBranch}, {Kind: Load},
+		{Kind: CondBranch}, {Kind: Jump},
+	}}
+	insts, branches := CountBranches(g, 100)
+	if insts != 5 || branches != 2 {
+		t.Fatalf("counted %d/%d", insts, branches)
+	}
+}
+
+func TestCountBranchesBounded(t *testing.T) {
+	g := &fixedGen{insts: make([]Inst, 100)}
+	insts, _ := CountBranches(g, 10)
+	if insts != 10 {
+		t.Fatalf("bound ignored: %d", insts)
+	}
+}
+
+func TestNumKindsConsistent(t *testing.T) {
+	if NumKinds != 7 {
+		t.Fatalf("NumKinds = %d; update tests when adding kinds", NumKinds)
+	}
+}

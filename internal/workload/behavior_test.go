@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"branchsim/internal/trace"
+)
+
+// classStats runs a benchmark and collects per-class taken statistics —
+// unit checks on the generative branch models themselves.
+func classStats(t *testing.T, bench string, insts int) map[string]*struct{ taken, total int } {
+	t.Helper()
+	prof, ok := ByName(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", bench)
+	}
+	p := New(prof)
+	out := map[string]*struct{ taken, total int }{}
+	var inst trace.Inst
+	for i := 0; i < insts; i++ {
+		p.Next(&inst)
+		if inst.Kind != trace.CondBranch {
+			continue
+		}
+		name, _ := p.BranchClassName(inst.PC)
+		s := out[name]
+		if s == nil {
+			s = &struct{ taken, total int }{}
+			out[name] = s
+		}
+		s.total++
+		if inst.Taken {
+			s.taken++
+		}
+	}
+	return out
+}
+
+func TestRandomClassIsFair(t *testing.T) {
+	stats := classStats(t, "twolf", 2_000_000)
+	s := stats[ClassRandom.String()]
+	if s == nil || s.total < 5000 {
+		t.Fatal("random class underrepresented")
+	}
+	rate := float64(s.taken) / float64(s.total)
+	if math.Abs(rate-0.5) > 0.03 {
+		t.Fatalf("random class taken rate %.3f, want ~0.5", rate)
+	}
+}
+
+func TestLoopClassMostlyTaken(t *testing.T) {
+	stats := classStats(t, "gap", 2_000_000)
+	s := stats[ClassLoop.String()]
+	if s == nil || s.total < 1000 {
+		t.Fatal("loop class underrepresented")
+	}
+	rate := float64(s.taken) / float64(s.total)
+	// A loop of period p is taken (p-1)/p of executions; with periods in
+	// [3,8] the aggregate sits well above 60%.
+	if rate < 0.6 {
+		t.Fatalf("loop class taken rate %.3f too low", rate)
+	}
+}
+
+func TestBiasedClassMarkovRuns(t *testing.T) {
+	// Rare outcomes of biased branches must cluster: the probability
+	// that a rare outcome is followed by another rare outcome of the
+	// same branch must be near the configured stay probability (0.5),
+	// far above the per-visit rare rate.
+	prof, _ := ByName("eon")
+	p := New(prof)
+	var inst trace.Inst
+	lastOutcome := map[uint64]bool{}
+	majority := map[uint64]int{} // taken count minus not-taken count proxy
+	// First pass to learn each branch's majority direction.
+	type rec struct {
+		pc    uint64
+		taken bool
+	}
+	var events []rec
+	for i := 0; i < 3_000_000; i++ {
+		p.Next(&inst)
+		if inst.Kind != trace.CondBranch {
+			continue
+		}
+		if name, _ := p.BranchClassName(inst.PC); name != ClassBiased.String() {
+			continue
+		}
+		events = append(events, rec{inst.PC, inst.Taken})
+		if inst.Taken {
+			majority[inst.PC]++
+		} else {
+			majority[inst.PC]--
+		}
+	}
+	var rareAfterRare, rareTransitions int
+	seen := map[uint64]bool{}
+	for _, e := range events {
+		maj := majority[e.pc] > 0
+		rare := e.taken != maj
+		if seen[e.pc] {
+			if lastOutcome[e.pc] != maj { // previous was rare
+				rareTransitions++
+				if rare {
+					rareAfterRare++
+				}
+			}
+		}
+		seen[e.pc] = true
+		lastOutcome[e.pc] = e.taken
+	}
+	if rareTransitions < 500 {
+		t.Skip("too few rare events to measure clustering")
+	}
+	stay := float64(rareAfterRare) / float64(rareTransitions)
+	if stay < 0.3 {
+		t.Fatalf("rare outcomes do not cluster: P(rare|rare)=%.3f", stay)
+	}
+}
+
+func TestShortCorrClassFollowsHistory(t *testing.T) {
+	// For each short-corr branch, some history offset in its configured
+	// range must (anti-)correlate with its outcome at roughly 1-noise.
+	prof, _ := ByName("parser")
+	p := New(prof)
+	var inst trace.Inst
+	var ghist uint64
+	type perPC struct {
+		agree [17]int
+		total int
+	}
+	byPC := map[uint64]*perPC{}
+	for i := 0; i < 2_000_000; i++ {
+		p.Next(&inst)
+		if inst.Kind == trace.CondBranch {
+			if name, _ := p.BranchClassName(inst.PC); name == ClassShortCorr.String() {
+				s := byPC[inst.PC]
+				if s == nil {
+					s = &perPC{}
+					byPC[inst.PC] = s
+				}
+				for off := uint(1); off <= 16; off++ {
+					if (ghist>>(off-1)&1 == 1) == inst.Taken {
+						s.agree[off]++
+					}
+				}
+				s.total++
+			}
+			if inst.Taken {
+				ghist = ghist<<1 | 1
+			} else {
+				ghist = ghist << 1
+			}
+		}
+	}
+	checked, good := 0, 0
+	for _, s := range byPC {
+		if s.total < 200 {
+			continue
+		}
+		checked++
+		best := 0.0
+		for off := uint(1); off <= 16; off++ {
+			frac := float64(s.agree[off]) / float64(s.total)
+			if anti := 1 - frac; anti > frac {
+				frac = anti
+			}
+			if frac > best {
+				best = frac
+			}
+		}
+		if best >= 0.90 {
+			good++
+		}
+	}
+	if checked < 10 {
+		t.Skip("too few well-sampled short-corr branches")
+	}
+	if float64(good) < 0.8*float64(checked) {
+		t.Fatalf("only %d/%d short-corr branches show their correlation", good, checked)
+	}
+}
+
+func TestPhaseSchedulerSweepsRegions(t *testing.T) {
+	prof, _ := ByName("gcc")
+	p := New(prof)
+	var inst trace.Inst
+	// Track which quarters of the code are visited over time windows.
+	foot := p.CodeFootprint()
+	quarter := func(pc uint64) int { return int((pc - 0x10000) * 4 / foot) }
+	windowQuarters := map[int]map[int]bool{}
+	const window = 200_000
+	for i := 0; i < 1_600_000; i++ {
+		p.Next(&inst)
+		w := i / window
+		if windowQuarters[w] == nil {
+			windowQuarters[w] = map[int]bool{}
+		}
+		windowQuarters[w][quarter(inst.PC)] = true
+	}
+	// Across all windows, every quarter must be visited.
+	all := map[int]bool{}
+	for _, qs := range windowQuarters {
+		for q := range qs {
+			all[q] = true
+		}
+	}
+	for q := 0; q < 4; q++ {
+		if !all[q] {
+			t.Fatalf("code quarter %d never visited — phase scheduler broken", q)
+		}
+	}
+}
