@@ -1,0 +1,134 @@
+// Command bplint runs the repository's custom static-analysis suite
+// (internal/analysis) over Go packages and exits nonzero on findings. It is
+// built only on the standard library — no analysis framework dependency —
+// and is wired into scripts/check.sh and CI.
+//
+// Usage:
+//
+//	bplint [flags] [patterns]
+//
+// Patterns are package directories; a pattern ending in /... walks the
+// tree. The default is ./... from the module root. Findings print as
+//
+//	file:line:col: message [analyzer]
+//
+// and can be suppressed per line with a //bplint:allow <analyzer> comment
+// on the finding's line or the line above (see package analysis).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"branchsim/internal/analysis"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		only = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bplint [flags] [patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = selectAnalyzers(analyzers, *only)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := resolvePatterns(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []analysis.Finding
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		findings = append(findings, analysis.Run(pkg, loader.Module, analyzers)...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "bplint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for n := range want {
+		fatal(fmt.Errorf("bplint: unknown analyzer %q", n))
+	}
+	return out
+}
+
+// resolvePatterns expands directory patterns ("./...", "dir", "dir/...")
+// into a sorted, de-duplicated list of package directories.
+func resolvePatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "" || root == "." {
+				root = "."
+			}
+			sub, err := analysis.PackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				if abs, err := filepath.Abs(d); err == nil && !seen[abs] {
+					seen[abs] = true
+					dirs = append(dirs, d)
+				}
+			}
+			continue
+		}
+		if abs, err := filepath.Abs(pat); err == nil && !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, pat)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -7,6 +7,9 @@
 //	reproduce -experiment figure5
 //	reproduce -experiment figure7 -insts 12000000 -warmup 3000000
 //	reproduce -list
+//
+// Stdout is byte-for-byte reproducible for a given configuration: wall-clock
+// progress lines only appear with -timings, and go to stderr.
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		jsonPath   = flag.String("json", "", "also write results as JSON to this path (for cmd/compare)")
 		label      = flag.String("label", "", "label stored in the JSON results")
+		timings    = flag.Bool("timings", false, "print per-experiment wall-clock timings to stderr")
 	)
 	flag.Parse()
 
@@ -55,7 +59,10 @@ func main() {
 		start := time.Now()
 		outcome := runner(opts)
 		fmt.Print(outcome.Render())
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		if *timings {
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", id, time.Since(start).Round(time.Millisecond))
+		}
 		file.Experiments = append(file.Experiments, results.FromOutcome(outcome))
 	}
 	if *jsonPath != "" {

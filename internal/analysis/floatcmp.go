@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp flags exact floating-point equality (== and !=) in the
+// statistics and experiment packages, where aggregated means and rates are
+// compared: exact comparison on accumulated floats encodes an accident of
+// rounding, not an invariant. Compare against a tolerance, or compare the
+// integer counts the floats were derived from.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on floating-point operands in internal/stats and internal/experiments",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	rel := pass.RelPath()
+	if !strings.HasPrefix(rel, "internal/stats") && !strings.HasPrefix(rel, "internal/experiments") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass, b.X) || isFloat(pass, b.Y) {
+				pass.Reportf(b.OpPos, "exact floating-point %s comparison: use a tolerance or compare the underlying counts", b.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoaderFindsModule(t *testing.T) {
+	// Starting from a subdirectory must climb to the repo's go.mod.
+	l, err := NewLoader("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Module != "branchsim" {
+		t.Fatalf("module = %q, want branchsim", l.Module)
+	}
+	if _, err := os.Stat(filepath.Join(l.Root, "go.mod")); err != nil {
+		t.Fatalf("root %s has no go.mod: %v", l.Root, err)
+	}
+}
+
+func TestPackageDirsSkipsTestdata(t *testing.T) {
+	l := fixtureLoader(t)
+	dirs, err := PackageDirs(l.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no package dirs found")
+	}
+	sep := string(filepath.Separator)
+	for _, d := range dirs {
+		if strings.Contains(d, sep+"testdata"+sep) || strings.HasSuffix(d, sep+"testdata") {
+			t.Errorf("PackageDirs returned a testdata dir: %s", d)
+		}
+	}
+	var found bool
+	for _, d := range dirs {
+		if strings.HasSuffix(d, filepath.Join("internal", "predictor")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("PackageDirs missed internal/predictor")
+	}
+}
+
+// TestSelfHost runs the full suite over the repository itself: the
+// simulator must be clean under its own invariants. This is the same gate
+// scripts/check.sh enforces via cmd/bplint.
+func TestSelfHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-host pass type-checks the whole module; skipped in -short")
+	}
+	l := fixtureLoader(t)
+	dirs, err := PackageDirs(l.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		for _, f := range Run(pkg, l.Module, All()) {
+			t.Errorf("self-host finding: %s", f)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// PanicMsg enforces the repo's panic-message convention in simulation
+// packages: every panic carries a message prefixed with the package name,
+// "<pkg>: ...", so a crash is attributable without decoding a stack trace.
+// The message may be a string literal, a literal-led "+" concatenation, or a
+// fmt.Sprintf/Sprint/Errorf call whose leading format literal carries the
+// prefix. panic(err) and other opaque values are rejected: the analyzer
+// cannot prove their text, and neither can a reader at the panic site.
+var PanicMsg = &Analyzer{
+	Name: "panicmsg",
+	Doc:  `require panic messages to carry the "<pkg>: " prefix convention`,
+	Run:  runPanicMsg,
+}
+
+func runPanicMsg(pass *Pass) {
+	if !pass.InSimulation() {
+		return
+	}
+	prefix := pass.Pkg.Name() + ": "
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+				return true
+			}
+			if !prefixedMessage(pass, call.Args[0], prefix) {
+				pass.Reportf(call.Pos(), "panic message must be a string starting with %q", prefix)
+			}
+			return true
+		})
+	}
+}
+
+// prefixedMessage reports whether expr provably evaluates to a string
+// starting with prefix.
+func prefixedMessage(pass *Pass, expr ast.Expr, prefix string) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	case *ast.BinaryExpr:
+		// "pkg: something " + detail — the leftmost operand decides.
+		return e.Op == token.ADD && prefixedMessage(pass, e.X, prefix)
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return false
+		}
+		switch fn.FullName() {
+		case "fmt.Sprintf", "fmt.Errorf", "fmt.Sprint":
+			return len(e.Args) > 0 && prefixedMessage(pass, e.Args[0], prefix)
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Pow2Mask flags index masks derived as len(x)-1 (or x.Len()-1) in
+// simulation packages when nothing in the enclosing function proves the
+// size is a power of two. Masking with size-1 silently scrambles indices
+// for any other size; every table here is supposed to be sized through
+// pow2Entries or validated with an explicit n&(n-1) check.
+//
+// A derivation counts as a mask when it is an operand of &/&^, is assigned
+// to (or initializes) something whose name contains "mask", or is passed to
+// a parameter so named. It is considered guarded when the enclosing
+// function contains a power-of-two check (e & (e-1)) or a call to
+// pow2Entries.
+var Pow2Mask = &Analyzer{
+	Name: "pow2mask",
+	Doc:  "flag len(x)-1 index masks with no power-of-two guard in scope",
+	Run:  runPow2Mask,
+}
+
+func runPow2Mask(pass *Pass) {
+	if !pass.InSimulation() {
+		return
+	}
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.SUB || !isIntLit(b.Y, "1") {
+			return
+		}
+		lenCall, desc := lenLike(pass, b.X)
+		if lenCall == nil {
+			return
+		}
+		if !maskContext(pass, stack, b, lenCall) {
+			return
+		}
+		if enclosingFuncHasPow2Guard(stack) {
+			return
+		}
+		pass.Reportf(b.Pos(),
+			"index mask %s-1 without a power-of-two guard: validate with n&(n-1)==0, size via pow2Entries, or derive the mask next to the guarded constructor", desc)
+	})
+}
+
+func isIntLit(e ast.Expr, val string) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == val
+}
+
+// lenLike recognizes len(x) and x.Len() and returns the call plus a display
+// string.
+func lenLike(pass *Pass, e ast.Expr) (ast.Expr, string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "len" && len(call.Args) == 1 {
+			if _, ok := pass.Info.Uses[fun].(*types.Builtin); ok {
+				return call, types.ExprString(call)
+			}
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Len" && len(call.Args) == 0 {
+			return call, types.ExprString(call)
+		}
+	}
+	return nil, ""
+}
+
+// maskContext climbs from the len(x)-1 expression through parentheses and
+// conversions to decide whether the value is being used as a bit mask.
+func maskContext(pass *Pass, stack []ast.Node, sub *ast.BinaryExpr, lenCall ast.Expr) bool {
+	var child ast.Node = sub
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = parent
+			continue
+		case *ast.CallExpr:
+			if tv, ok := pass.Info.Types[parent.Fun]; ok && tv.IsType() {
+				child = parent // conversion such as uint64(len(x)-1)
+				continue
+			}
+			return argIsMaskParam(pass, parent, child)
+		case *ast.BinaryExpr:
+			if parent.Op == token.AND || parent.Op == token.AND_NOT {
+				// e & (e-1) is the power-of-two *check* itself, not a use.
+				other := parent.X
+				if ast.Unparen(other) == ast.Unparen(child.(ast.Expr)) {
+					other = parent.Y
+				}
+				return types.ExprString(ast.Unparen(other)) != types.ExprString(ast.Unparen(lenCall))
+			}
+			return false
+		case *ast.AssignStmt:
+			return assignsToMask(parent, child)
+		case *ast.ValueSpec:
+			for _, name := range parent.Names {
+				if nameLooksLikeMask(name.Name) {
+					return true
+				}
+			}
+			return false
+		case *ast.KeyValueExpr:
+			if key, ok := parent.Key.(*ast.Ident); ok {
+				return nameLooksLikeMask(key.Name)
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func argIsMaskParam(pass *Pass, call *ast.CallExpr, child ast.Node) bool {
+	idx := -1
+	for i, arg := range call.Args {
+		if arg == child {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Variadic() && idx >= sig.Params().Len()-1 {
+		idx = sig.Params().Len() - 1
+	}
+	if idx >= sig.Params().Len() {
+		return false
+	}
+	return nameLooksLikeMask(sig.Params().At(idx).Name())
+}
+
+func assignsToMask(assign *ast.AssignStmt, child ast.Node) bool {
+	idx := -1
+	for i, rhs := range assign.Rhs {
+		if rhs == child {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(assign.Lhs) != len(assign.Rhs) {
+		// Mixed shapes (multi-value RHS) — check every target.
+		for _, lhs := range assign.Lhs {
+			if nameLooksLikeMask(lhsName(lhs)) {
+				return true
+			}
+		}
+		return false
+	}
+	return nameLooksLikeMask(lhsName(assign.Lhs[idx]))
+}
+
+func lhsName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func nameLooksLikeMask(name string) bool {
+	return strings.Contains(strings.ToLower(name), "mask")
+}
+
+// enclosingFuncHasPow2Guard reports whether the innermost enclosing
+// function contains a power-of-two check (e & (e-1), either order) or a
+// call to pow2Entries.
+func enclosingFuncHasPow2Guard(stack []ast.Node) bool {
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op == token.AND && (isPow2Check(e.X, e.Y) || isPow2Check(e.Y, e.X)) {
+				guarded = true
+			}
+		case *ast.CallExpr:
+			switch fun := e.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "pow2Entries" {
+					guarded = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "pow2Entries" {
+					guarded = true
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// isPow2Check reports whether (a, b) has the shape (e, e-1).
+func isPow2Check(a, b ast.Expr) bool {
+	sub, ok := ast.Unparen(b).(*ast.BinaryExpr)
+	if !ok || sub.Op != token.SUB || !isIntLit(sub.Y, "1") {
+		return false
+	}
+	return types.ExprString(ast.Unparen(a)) == types.ExprString(ast.Unparen(sub.X))
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SizeBytes guards the paper's hardware-budget accounting: for every
+// concrete type implementing the predictor.Predictor contract (detected
+// structurally, so wrappers in any package are covered), each state-carrying
+// slice or array field must be referenced — directly or through
+// same-package helpers — from the type's SizeBytes method. A table that is
+// allocated but never counted silently under-reports the budget that forms
+// the x axis of every figure.
+//
+// Bookkeeping fields that model mechanism rather than SRAM (and whose
+// hardware cost is charged analytically) are annotated at the field with
+// //bplint:allow sizebytes and a reason.
+var SizeBytes = &Analyzer{
+	Name: "sizebytes",
+	Doc:  "require Predictor implementations to account every state table in SizeBytes",
+	Run:  runSizeBytes,
+}
+
+// predictorIface is the structural mirror of predictor.Predictor, built
+// here so the analyzer needs no import of the package under test:
+//
+//	Predict(uint64) bool
+//	Update(uint64, bool)
+//	SizeBytes() int
+//	Name() string
+var predictorIface = func() *types.Interface {
+	u64 := types.NewVar(token.NoPos, nil, "", types.Typ[types.Uint64])
+	tkn := types.NewVar(token.NoPos, nil, "", types.Typ[types.Bool])
+	ret := func(t types.Type) *types.Tuple {
+		return types.NewTuple(types.NewVar(token.NoPos, nil, "", t))
+	}
+	sig := func(params *types.Tuple, results *types.Tuple) *types.Signature {
+		return types.NewSignatureType(nil, nil, nil, params, results, false)
+	}
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Predict", sig(types.NewTuple(u64), ret(types.Typ[types.Bool]))),
+		types.NewFunc(token.NoPos, nil, "Update", sig(types.NewTuple(u64, tkn), nil)),
+		types.NewFunc(token.NoPos, nil, "SizeBytes", sig(nil, ret(types.Typ[types.Int]))),
+		types.NewFunc(token.NoPos, nil, "Name", sig(nil, ret(types.Typ[types.String]))),
+	}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func runSizeBytes(pass *Pass) {
+	declByObj := funcDecls(pass)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || named.Obj().Pkg() != pass.Pkg {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if !types.Implements(named, predictorIface) &&
+			!types.Implements(types.NewPointer(named), predictorIface) {
+			continue
+		}
+		checkPredictorType(pass, named, st, declByObj)
+	}
+}
+
+func checkPredictorType(pass *Pass, named *types.Named, st *types.Struct, declByObj map[types.Object]*ast.FuncDecl) {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, pass.Pkg, "SizeBytes")
+	sizeFn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	root := declByObj[sizeFn]
+	if root == nil {
+		// SizeBytes is promoted from a type in another package; its body is
+		// out of reach, so stay silent rather than guess.
+		return
+	}
+	referenced := reachableFieldRefs(pass, root, declByObj)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Anonymous() || !stateCarrying(f.Type()) {
+			continue
+		}
+		if !referenced[f] {
+			pass.Reportf(f.Pos(),
+				"%s.%s is a state-carrying %s never counted by (%s).SizeBytes — hardware budget under-reported",
+				named.Obj().Name(), f.Name(), f.Type().Underlying(), named.Obj().Name())
+		}
+	}
+}
+
+// funcDecls maps every function/method object declared in the package to
+// its AST declaration.
+func funcDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	m := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					m[obj] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// reachableFieldRefs collects every struct field selected in root's body or
+// in the body of any same-package function or method transitively called
+// from it. The over-approximation errs toward silence: a field counted via
+// a helper (e.g. a sub-table's own sizeBytes method) is treated as
+// referenced.
+func reachableFieldRefs(pass *Pass, root *ast.FuncDecl, declByObj map[types.Object]*ast.FuncDecl) map[*types.Var]bool {
+	refs := map[*types.Var]bool{}
+	seen := map[*ast.FuncDecl]bool{root: true}
+	queue := []*ast.FuncDecl{root}
+	enqueue := func(obj types.Object) {
+		if decl := declByObj[obj]; decl != nil && !seen[decl] {
+			seen[decl] = true
+			queue = append(queue, decl)
+		}
+	}
+	for len(queue) > 0 {
+		decl := queue[0]
+		queue = queue[1:]
+		if decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := pass.Info.Selections[e]; sel != nil {
+					switch sel.Kind() {
+					case types.FieldVal:
+						if v, ok := sel.Obj().(*types.Var); ok {
+							refs[v] = true
+						}
+					case types.MethodVal, types.MethodExpr:
+						enqueue(sel.Obj())
+					}
+				} else if obj := pass.Info.Uses[e.Sel]; obj != nil {
+					enqueue(obj)
+				}
+			case *ast.Ident:
+				if obj := pass.Info.Uses[e]; obj != nil {
+					enqueue(obj)
+				}
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+// stateCarrying reports whether a field type is a slice or array whose
+// elements hold predictor state: numerics, booleans, structs, or pointers
+// to those.
+func stateCarrying(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return stateElem(u.Elem())
+	case *types.Array:
+		return stateElem(u.Elem())
+	}
+	return false
+}
+
+func stateElem(e types.Type) bool {
+	switch u := e.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsNumeric|types.IsBoolean) != 0
+	case *types.Struct:
+		return true
+	case *types.Pointer:
+		return stateElem(u.Elem())
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+// Package fix is the known-bad fixture for the determinism analyzer: it
+// touches every forbidden nondeterminism source.
+package fix
+
+import (
+	"math/rand" // want "import of math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads clocks, random streams and the environment.
+func Stamp() int64 {
+	start := time.Now() // want "call to time.Now"
+	mix := rand.Int63()
+	if os.Getenv("BRANCHSIM_SEED") != "" { // want "call to os.Getenv"
+		mix++
+	}
+	return mix + int64(time.Since(start)) // want "call to time.Since"
+}

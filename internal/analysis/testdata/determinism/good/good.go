@@ -1,0 +1,21 @@
+// Package fix is the known-good fixture for the determinism analyzer:
+// durations are derived, not measured, and the one environment read is
+// explicitly allowed as diagnostics-only.
+package fix
+
+import (
+	"os"
+	"time"
+)
+
+// Timeout derives a duration without reading a clock; importing time for
+// its types is fine.
+func Timeout(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// DebugDir locates diagnostic output and never influences results.
+func DebugDir() string {
+	//bplint:allow determinism diagnostics only, never in simulation results
+	return os.Getenv("BRANCHSIM_DEBUG_DIR")
+}

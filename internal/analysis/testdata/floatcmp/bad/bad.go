@@ -1,0 +1,13 @@
+// Package fix is the known-bad fixture for the floatcmp analyzer: exact
+// equality on floating-point values.
+package fix
+
+// SameRate compares accumulated rates exactly.
+func SameRate(a, b float64) bool {
+	return a == b // want "exact floating-point"
+}
+
+// Converged tests a derived float against a literal.
+func Converged(x float64) bool {
+	return x != 0.0 // want "exact floating-point"
+}

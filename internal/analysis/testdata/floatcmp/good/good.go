@@ -1,0 +1,23 @@
+// Package fix is the known-good fixture for the floatcmp analyzer:
+// tolerance comparison, integer-count comparison, and one allowed exact
+// sentinel check.
+package fix
+
+// Close compares within a tolerance.
+func Close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// SameCount compares the integer counts the rates derive from.
+func SameCount(hits, total int64) bool {
+	return hits == total
+}
+
+// ExactZero checks an untouched sentinel that no arithmetic ever produced.
+func ExactZero(x float64) bool {
+	return x == 0 //bplint:allow floatcmp sentinel value, never arithmetic-derived
+}

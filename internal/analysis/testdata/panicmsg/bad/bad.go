@@ -1,0 +1,21 @@
+// Package fix is the known-bad fixture for the panicmsg analyzer: every
+// panic lacks a provable "fix: " prefix.
+package fix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Check panics without the package prefix in the shapes seen in practice.
+func Check(n int) {
+	if n < 0 {
+		panic("negative size") // want "panic message must be a string"
+	}
+	if n == 0 {
+		panic(fmt.Sprintf("bad count %d", n)) // want "panic message must be a string"
+	}
+	if n > 1<<20 {
+		panic(errors.New("fix: too large")) // want "panic message must be a string"
+	}
+}

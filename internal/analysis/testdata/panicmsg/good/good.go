@@ -1,0 +1,25 @@
+// Package fix is the known-good fixture for the panicmsg analyzer: every
+// panic provably starts with "fix: ", or is explicitly allowed.
+package fix
+
+import "fmt"
+
+// Check panics with the package prefix in each accepted shape.
+func Check(n int) {
+	if n < 0 {
+		panic("fix: negative size")
+	}
+	if n == 0 {
+		panic(fmt.Sprintf("fix: bad count %d", n))
+	}
+	if n > 1<<20 {
+		panic("fix: too large: " + fmt.Sprint(n))
+	}
+}
+
+// Rethrow re-raises a recovered value, which cannot carry the prefix.
+func Rethrow(r any) {
+	if r != nil {
+		panic(r) //bplint:allow panicmsg re-raising a recovered value
+	}
+}

@@ -1,0 +1,22 @@
+// Package fix is the known-bad fixture for the pow2mask analyzer: index
+// masks are derived from len(x)-1 with nothing proving the length is a
+// power of two.
+package fix
+
+// Table is an unvalidated direction table.
+type Table struct {
+	rows []uint8
+	mask uint64
+}
+
+// NewTable derives a mask from an arbitrary caller-supplied size.
+func NewTable(n int) *Table {
+	t := &Table{rows: make([]uint8, n)}
+	t.mask = uint64(len(t.rows) - 1) // want "index mask"
+	return t
+}
+
+// Index masks an address with len-1 inline.
+func (t *Table) Index(pc uint64) int {
+	return int(pc & uint64(len(t.rows)-1)) // want "index mask"
+}

@@ -1,0 +1,42 @@
+// Package fix is the known-good fixture for the pow2mask analyzer: masks
+// are derived only where a power-of-two guard or pow2Entries sizing is in
+// scope, and len-1 last-element indexing is not mistaken for a mask.
+package fix
+
+// Table is a validated direction table.
+type Table struct {
+	rows []uint8
+	mask uint64
+}
+
+// pow2Entries mirrors the repo's budget-fitting helper.
+func pow2Entries(budget int) int {
+	n := 1
+	for n*2 <= budget {
+		n *= 2
+	}
+	return n
+}
+
+// NewTable sizes rows via pow2Entries, so the derived mask is safe.
+func NewTable(budget int) *Table {
+	t := &Table{rows: make([]uint8, pow2Entries(budget))}
+	t.mask = uint64(len(t.rows) - 1)
+	return t
+}
+
+// NewTableChecked validates the size explicitly before masking.
+func NewTableChecked(n int) *Table {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("fix: entries not a power of two")
+	}
+	t := &Table{rows: make([]uint8, n)}
+	t.mask = uint64(len(t.rows) - 1)
+	return t
+}
+
+// Index uses the precomputed mask; taking the last element is not a mask.
+func (t *Table) Index(pc uint64) (int, uint8) {
+	last := t.rows[len(t.rows)-1]
+	return int(pc & t.mask), last
+}

@@ -1,0 +1,26 @@
+// Package fix is the known-bad fixture for the sizebytes analyzer: Leaky
+// satisfies the Predictor contract but its SizeBytes forgets the
+// hysteresis table, under-reporting the hardware budget.
+package fix
+
+// Leaky is a two-table predictor that counts only one table.
+type Leaky struct {
+	pht        []uint8
+	hysteresis []bool // want "Leaky.hysteresis is a state-carrying"
+	name       string
+}
+
+// Predict implements the Predictor contract.
+func (l *Leaky) Predict(pc uint64) bool { return l.pht[pc%uint64(len(l.pht))] > 1 }
+
+// Update implements the Predictor contract.
+func (l *Leaky) Update(pc uint64, taken bool) {
+	i := pc % uint64(len(l.hysteresis))
+	l.hysteresis[i] = taken
+}
+
+// SizeBytes forgets hysteresis.
+func (l *Leaky) SizeBytes() int { return len(l.pht) }
+
+// Name implements the Predictor contract.
+func (l *Leaky) Name() string { return l.name }

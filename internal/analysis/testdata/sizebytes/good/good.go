@@ -1,0 +1,29 @@
+// Package fix is the known-good fixture for the sizebytes analyzer: every
+// state table is counted (one through a helper method), and the one
+// bookkeeping slice is explicitly allowed.
+package fix
+
+// Counted is a two-table predictor with honest accounting.
+type Counted struct {
+	pht        []uint8
+	hysteresis []bool
+	scratch    []uint64 //bplint:allow sizebytes driver scratch, not hardware state
+	name       string
+}
+
+// Predict implements the Predictor contract.
+func (c *Counted) Predict(pc uint64) bool { return c.pht[pc%uint64(len(c.pht))] > 1 }
+
+// Update implements the Predictor contract.
+func (c *Counted) Update(pc uint64, taken bool) {
+	c.scratch = append(c.scratch, pc)
+	c.hysteresis[pc%uint64(len(c.hysteresis))] = taken
+}
+
+// SizeBytes counts the PHT directly and the hysteresis bits via a helper.
+func (c *Counted) SizeBytes() int { return len(c.pht) + c.hystBytes() }
+
+func (c *Counted) hystBytes() int { return (len(c.hysteresis) + 7) / 8 }
+
+// Name implements the Predictor contract.
+func (c *Counted) Name() string { return c.name }

@@ -5,7 +5,10 @@
 // pipeline's business.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Config sizes a cache.
 type Config struct {
@@ -52,7 +55,9 @@ type Cache struct {
 // New returns an empty cache with the given configuration.
 func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		// Validate's errors are already "cache: "-prefixed; strip before
+		// re-prefixing so the panic message carries it exactly once.
+		panic("cache: invalid configuration: " + strings.TrimPrefix(err.Error(), "cache: "))
 	}
 	sets := cfg.Sets()
 	var shift uint

@@ -60,17 +60,19 @@ type GShareFast struct {
 	cycle         uint64
 	externalClock bool
 	pushes        uint64
-	snaps         []histSnap
+	// snaps models the per-stage history latches; their SRAM cost is the
+	// per-stage buffer checkpoints charged analytically in SizeBytes.
+	snaps []histSnap //bplint:allow sizebytes simulation bookkeeping, hardware cost charged as buffer checkpoints
 
 	// Delayed non-speculative PHT update (§3.2): counters train up to
 	// UpdateLag branches after prediction, modelling the multi-cycle
 	// write path into a large PHT.
 	updateLag int
-	pending   []pendingUpdate
+	pending   []pendingUpdate //bplint:allow sizebytes models the in-flight write queue of the PHT port, not a prediction table
 
 	// lastBlockPreds carries PredictBlock's chained predictions to
 	// UpdateBlock so training replays the same within-block history.
-	lastBlockPreds []bool
+	lastBlockPreds []bool //bplint:allow sizebytes driver-protocol scratch, not predictor state
 
 	name string
 }

@@ -243,10 +243,7 @@ func QuickSizeSweep(opts Options) *Outcome {
 		var ipcs, overrides []float64
 		for _, prof := range profiles {
 			res := timingRun(func() predictor.Predictor {
-				slow, err := NewPredictor("perceptron", budget)
-				if err != nil {
-					panic(err)
-				}
+				slow := mustPredictor("perceptron", budget)
 				lat := delaymodel.Default.ForPredictor(slow)
 				return core.NewOverriding(predictor.NewGShare(sizes[i], 0), slow, lat)
 			}, prof, opts)
@@ -293,11 +290,7 @@ func DepthSweep(opts Options) *Outcome {
 		for _, prof := range profiles {
 			sim := pipeline.New(cfg, NewGShareFast(budget))
 			fast = append(fast, sim.Run(workload.New(prof), opts.Insts, opts.Warmup).IPC())
-			o, err := NewOverriding("perceptron", budget)
-			if err != nil {
-				panic(err)
-			}
-			sim2 := pipeline.New(cfg, o)
+			sim2 := pipeline.New(cfg, mustOverriding("perceptron", budget))
 			over = append(over, sim2.Run(workload.New(prof), opts.Insts, opts.Warmup).IPC())
 		}
 		values[i] = []float64{stats.HarmonicMean(fast), stats.HarmonicMean(over)}

@@ -33,11 +33,7 @@ func mispredictSweep(kinds []string, budgets []int, opts Options) *textplot.Tabl
 		rates := make([]float64, 0, len(profiles))
 		for _, prof := range profiles {
 			rates = append(rates, accuracyRun(func() predictor.Predictor {
-				p, err := NewPredictor(kinds[j.ki], budgets[j.bi])
-				if err != nil {
-					panic(err)
-				}
-				return p
+				return mustPredictor(kinds[j.ki], budgets[j.bi])
 			}, prof, opts))
 		}
 		values[j.bi][j.ki] = stats.Mean(rates)
@@ -114,11 +110,7 @@ func Figure6(opts Options) *Outcome {
 	forEach(len(jobs), opts.Parallel, func(n int) {
 		j := jobs[n]
 		values[j.pi][j.ki] = accuracyRun(func() predictor.Predictor {
-			p, err := NewPredictor(kinds[j.ki], budget)
-			if err != nil {
-				panic(err)
-			}
-			return p
+			return mustPredictor(kinds[j.ki], budget)
 		}, profiles[j.pi], opts)
 	})
 	for ki := range kinds {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"branchsim/internal/core"
 	"branchsim/internal/funcsim"
 	"branchsim/internal/pipeline"
 	"branchsim/internal/predictor"
@@ -104,6 +105,27 @@ func forEach(n, parallel int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+}
+
+// mustPredictor builds a predictor for a kind hardwired into an experiment
+// table. An unknown kind or bad budget there is a programmer error, so it
+// panics; NewPredictor's errors are already "experiments: "-prefixed, and
+// the prefix is stripped before re-prefixing so it appears exactly once.
+func mustPredictor(kind string, budgetBytes int) predictor.Predictor {
+	p, err := NewPredictor(kind, budgetBytes)
+	if err != nil {
+		panic("experiments: " + strings.TrimPrefix(err.Error(), "experiments: "))
+	}
+	return p
+}
+
+// mustOverriding is mustPredictor for overriding organizations.
+func mustOverriding(kind string, budgetBytes int) *core.Overriding {
+	o, err := NewOverriding(kind, budgetBytes)
+	if err != nil {
+		panic("experiments: " + strings.TrimPrefix(err.Error(), "experiments: "))
+	}
+	return o
 }
 
 // accuracyRun builds a fresh predictor via build and measures its

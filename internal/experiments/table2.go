@@ -21,10 +21,7 @@ func Table2(Options) *Outcome {
 		rows[i] = budgetLabel(b)
 		values[i] = make([]float64, len(kinds)+2)
 		for j, kind := range kinds {
-			p, err := NewPredictor(kind, b)
-			if err != nil {
-				panic(err)
-			}
+			p := mustPredictor(kind, b)
 			values[i][j] = float64(delaymodel.Default.ForPredictor(p))
 		}
 		g := NewGShareFast(b)

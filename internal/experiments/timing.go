@@ -25,17 +25,9 @@ const (
 // buildTimed assembles the predictor organization for a kind under a mode.
 func buildTimed(kind string, budget int, mode TimingMode) predictor.Predictor {
 	if mode == Ideal || kind == "gshare.fast" {
-		p, err := NewPredictor(kind, budget)
-		if err != nil {
-			panic(err)
-		}
-		return p
+		return mustPredictor(kind, budget)
 	}
-	o, err := NewOverriding(kind, budget)
-	if err != nil {
-		panic(err)
-	}
-	return o
+	return mustOverriding(kind, budget)
 }
 
 // ipcSweep measures harmonic-mean IPC for each (kind, budget) pair.

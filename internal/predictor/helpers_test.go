@@ -1,0 +1,121 @@
+package predictor
+
+import "testing"
+
+func TestPow2Entries(t *testing.T) {
+	tests := []struct {
+		name                                        string
+		budgetBytes, bitsPerEntry, minEntries, want int
+	}{
+		{"exact 2KB of 2-bit counters", 2048, 2, 4, 8192},
+		{"one byte of 2-bit counters", 1, 2, 1, 4},
+		{"non-power-of-two budget rounds down", 3000, 2, 4, 8192},
+		{"53KB lands between powers", 53 * 1024, 2, 4, 131072},
+		{"wide entries shrink the table", 2048, 16, 4, 1024},
+		{"zero budget clamps to min", 0, 2, 64, 64},
+		{"negative budget clamps to min", -100, 2, 16, 16},
+		{"zero bits clamps to min", 1024, 0, 32, 32},
+		{"budget below min still clamps up", 1, 2, 1024, 1024},
+		{"min of zero allows tiny tables", 1, 8, 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := pow2Entries(tt.budgetBytes, tt.bitsPerEntry, tt.minEntries)
+			if got != tt.want {
+				t.Fatalf("pow2Entries(%d, %d, %d) = %d, want %d",
+					tt.budgetBytes, tt.bitsPerEntry, tt.minEntries, got, tt.want)
+			}
+			if got&(got-1) != 0 {
+				t.Fatalf("pow2Entries returned non-power-of-two %d", got)
+			}
+			if tt.budgetBytes > 0 && tt.bitsPerEntry > 0 && got > tt.minEntries {
+				// Maximality: the result fits, doubling it would not.
+				if int64(got)*int64(tt.bitsPerEntry) > int64(tt.budgetBytes)*8 {
+					t.Fatalf("result %d entries exceeds budget", got)
+				}
+				if int64(got)*2*int64(tt.bitsPerEntry) <= int64(tt.budgetBytes)*8 {
+					t.Fatalf("result %d entries is not maximal", got)
+				}
+			}
+		})
+	}
+}
+
+func TestLog2(t *testing.T) {
+	tests := []struct {
+		n    int
+		want uint
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1 << 10, 10}, {1<<10 + 1, 10}, {1 << 20, 20},
+	}
+	for _, tt := range tests {
+		if got := log2(tt.n); got != tt.want {
+			t.Errorf("log2(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestBudgetName(t *testing.T) {
+	tests := []struct {
+		bytes int
+		want  string
+	}{
+		{2048, "2KB"},
+		{512 * 1024, "512KB"},
+		{53 * 1024, "53KB"},
+		{1536, "1.5KB"},
+		{1100, "1.1KB"},
+		{1024, "1KB"},
+		{512, "512B"},
+		{1, "1B"},
+		{0, "0B"},
+	}
+	for _, tt := range tests {
+		if got := budgetName(tt.bytes); got != tt.want {
+			t.Errorf("budgetName(%d) = %q, want %q", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestPCIndex(t *testing.T) {
+	tests := []struct {
+		name     string
+		pc, mask uint64
+		want     uint64
+	}{
+		{"word alignment dropped", 0x1000, 0xff, 0x1000 >> 2 & 0xff},
+		{"adjacent instructions share low bits", 0x1001, 0xff, 0x1000 >> 2 & 0xff},
+		{"next word maps to next entry", 0x1004, 0xff, (0x1000>>2 + 1) & 0xff},
+		{"mask wraps high pcs", 0xffff_ffff_ffff_fffc, 0x3, (0xffff_ffff_ffff_fffc >> 2) & 0x3},
+		{"zero mask collapses to entry 0", 0x1234, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := pcIndex(tt.pc, tt.mask); got != tt.want {
+				t.Fatalf("pcIndex(%#x, %#x) = %#x, want %#x", tt.pc, tt.mask, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHashPC(t *testing.T) {
+	// The hash must be a pure function and must spread PCs that differ only
+	// above the low table-index bits (the whole reason it exists).
+	if hashPC(0x40_0000) != hashPC(0x40_0000) {
+		t.Fatal("hashPC is not deterministic")
+	}
+	const mask = 0x3ff // 1K-entry table
+	a := hashPC(0x0040_0000) & mask
+	b := hashPC(0x0080_0000) & mask
+	c := hashPC(0x0100_0000) & mask
+	if a == b && b == c {
+		t.Errorf("hashPC folds nothing: %#x %#x %#x collide under mask %#x", a, b, c, mask)
+	}
+	// Word-offset bits must not leak in: pc and pc+1..3 hash identically.
+	for off := uint64(1); off < 4; off++ {
+		if hashPC(0x1000) != hashPC(0x1000+off) {
+			t.Errorf("hashPC(%#x) != hashPC(%#x): sub-word bits leak", uint64(0x1000), 0x1000+off)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 // network, which is exactly the complexity §2.2 warns about.
 type MultiComponent struct {
 	bimodal    *counter.Array2
+	bimMask    uint64
 	components []*mcComponent
 	// Optional local two-level component (Evers' multi-hybrid mixes
 	// global- and local-history components).
@@ -78,12 +79,19 @@ func NewMultiComponent(cfg MCConfig) *MultiComponent {
 	if cfg.ComponentEntries <= 0 || cfg.ComponentEntries&(cfg.ComponentEntries-1) != 0 {
 		panic(fmt.Sprintf("predictor: component entries %d not a power of two", cfg.ComponentEntries))
 	}
+	if cfg.BimodalEntries <= 0 || cfg.BimodalEntries&(cfg.BimodalEntries-1) != 0 {
+		panic(fmt.Sprintf("predictor: bimodal entries %d not a power of two", cfg.BimodalEntries))
+	}
+	if cfg.SelectorEntries <= 0 || cfg.SelectorEntries&(cfg.SelectorEntries-1) != 0 {
+		panic(fmt.Sprintf("predictor: selector entries %d not a power of two", cfg.SelectorEntries))
+	}
 	maxHist := cfg.HistoryLengths[len(cfg.HistoryLengths)-1]
 	if maxHist > history.MaxGlobalBits {
 		panic(fmt.Sprintf("predictor: history length %d exceeds %d", maxHist, history.MaxGlobalBits))
 	}
 	m := &MultiComponent{
 		bimodal: counter.NewArray2(cfg.BimodalEntries, counter.WeaklyNotTaken),
+		bimMask: uint64(cfg.BimodalEntries - 1),
 		selMask: uint64(cfg.SelectorEntries - 1),
 		ghr:     history.NewGlobal(maxHist),
 	}
@@ -167,8 +175,7 @@ func (m *MultiComponent) predictions(pc uint64) (preds []bool, chosen int) {
 		preds[len(m.components)] = m.localPHT.Taken(int(m.localHist.Get(pc)))
 	}
 	bim := m.sources() - 1
-	bimIdx := int(pcIndex(pc, uint64(m.bimodal.Len()-1)))
-	preds[bim] = m.bimodal.Taken(bimIdx)
+	preds[bim] = m.bimodal.Taken(int(pcIndex(pc, m.bimMask)))
 
 	sel := int(pcIndex(pc, m.selMask))
 	best, bestConf := bim, int(m.selector[bim].Get(sel))
@@ -223,8 +230,7 @@ func (m *MultiComponent) Update(pc uint64, taken bool) {
 		m.localPHT.Update(int(m.localHist.Get(pc)), taken)
 		m.localHist.Push(pc, taken)
 	}
-	bimIdx := int(pcIndex(pc, uint64(m.bimodal.Len()-1)))
-	m.bimodal.Update(bimIdx, taken)
+	m.bimodal.Update(int(pcIndex(pc, m.bimMask)), taken)
 	m.ghr.Push(taken)
 }
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# check.sh is the repository's full verification gate, run locally and by
+# CI (.github/workflows/ci.yml): build, formatting, go vet, the custom
+# bplint static-analysis suite (internal/analysis), and race-enabled tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> bplint ./..."
+go run ./cmd/bplint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "All checks passed."
