@@ -188,6 +188,80 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	}
 }
 
+// --- Record/replay trace-layer benchmarks (scripts/bench.sh →
+// BENCH_trace.json). GenerateStream vs ReplayStream is the per-instruction
+// comparison; the AccuracySweep pair is the grid-level one the tentpole
+// optimizes: one benchmark stream consumed by several predictor cells,
+// either regenerated per cell or recorded once and replayed. ---
+
+// BenchmarkGenerateStream measures per-instruction cost of live synthesis.
+func BenchmarkGenerateStream(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	w := branchsim.NewWorkload(bench)
+	var inst branchsim.Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Next(&inst)
+	}
+}
+
+// BenchmarkReplayStream measures per-instruction cost of replaying a
+// recording of the same stream.
+func BenchmarkReplayStream(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	rec := branchsim.RecordWorkload(bench, 1_000_000)
+	cur := rec.Replay()
+	var inst branchsim.Inst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cur.Next(&inst) {
+			cur = rec.Replay()
+			cur.Next(&inst)
+		}
+	}
+}
+
+// sweepKinds and sweepInsts shape the sweep benchmarks: six predictor
+// cells over one benchmark, the per-benchmark slice of a Figure 1/5 grid.
+var sweepKinds = []string{"gshare", "bimode", "local", "2bcgskew", "perceptron", "gshare.fast"}
+
+const sweepInsts = 200_000
+
+func sweepCell(b *testing.B, kind string, src branchsim.Source) {
+	b.Helper()
+	p, err := branchsim.NewPredictorByName(kind, 64<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := branchsim.RunAccuracy(p, src, branchsim.AccuracyOptions{MaxInsts: sweepInsts})
+	if res.Branches == 0 {
+		b.Fatal("degenerate sweep cell: no branches")
+	}
+}
+
+// BenchmarkAccuracySweepRegenerate is the pre-refactor data path: every
+// predictor cell re-synthesizes the benchmark stream.
+func BenchmarkAccuracySweepRegenerate(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	for i := 0; i < b.N; i++ {
+		for _, kind := range sweepKinds {
+			sweepCell(b, kind, branchsim.NewWorkload(bench))
+		}
+	}
+}
+
+// BenchmarkAccuracySweepReplay is the record/replay data path: the stream
+// is recorded once per sweep (cost included) and replayed for every cell.
+func BenchmarkAccuracySweepReplay(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	for i := 0; i < b.N; i++ {
+		rec := branchsim.RecordWorkload(bench, sweepInsts)
+		for _, kind := range sweepKinds {
+			sweepCell(b, kind, rec.Replay())
+		}
+	}
+}
+
 // BenchmarkPipelineSimulation measures timing-simulator throughput
 // (instructions per op).
 func BenchmarkPipelineSimulation(b *testing.B) {

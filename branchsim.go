@@ -111,8 +111,27 @@ var DefaultDelayModel = delaymodel.Default
 // Inst is one dynamic instruction of the synthetic ISA.
 type Inst = trace.Inst
 
-// Generator produces a dynamic instruction stream.
+// Source produces a dynamic instruction stream: either a live synthetic
+// workload or a recorded trace's replay cursor.
+type Source = trace.Source
+
+// Generator is the historical name for Source.
 type Generator = trace.Generator
+
+// Recording is a materialized instruction stream: record a workload once,
+// replay it across a whole experiment grid. Replay is bit-identical to live
+// generation. Recording implements io.WriterTo (the deterministic
+// varint-delta trace format); ReadTrace decodes it.
+type Recording = trace.Recording
+
+// Record drains up to maxInsts instructions from src into a Recording.
+func Record(src Source, maxInsts int64) *Recording { return trace.Record(src, maxInsts) }
+
+// RecordWorkload records a benchmark's deterministic stream.
+func RecordWorkload(b Benchmark, maxInsts int64) *Recording { return workload.Record(b, maxInsts) }
+
+// ReadTrace decodes a recording written with Recording.WriteTo.
+var ReadTrace = trace.ReadRecording
 
 // Benchmark describes one synthetic SPECint2000-like workload.
 type Benchmark = workload.Profile

@@ -18,6 +18,8 @@ import (
 	"branchsim/internal/experiments"
 	"branchsim/internal/funcsim"
 	"branchsim/internal/stats"
+	"branchsim/internal/trace"
+	"branchsim/internal/tracestore"
 	"branchsim/internal/workload"
 )
 
@@ -49,6 +51,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Each benchmark's stream is recorded on first use and replayed for
+	// every subsequent predictor kind, so multi-predictor invocations pay
+	// generation cost once per benchmark.
+	store := tracestore.New()
 	for _, kind := range strings.Split(*predictors, ",") {
 		kind = strings.TrimSpace(kind)
 		if kind == "" {
@@ -62,7 +68,13 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			res := funcsim.Run(p, workload.New(prof), funcsim.Options{
+			src := store.Source(
+				tracestore.Key{Name: prof.Name, Seed: prof.Seed, Insts: *insts},
+				func() trace.Source { return workload.New(prof) })
+			if *perClass {
+				src = workload.Classify(src, prof)
+			}
+			res := funcsim.Run(p, src, funcsim.Options{
 				MaxInsts:    *insts,
 				WarmupInsts: *warmup,
 				PerClass:    *perClass,

@@ -25,6 +25,8 @@ import (
 	"branchsim/internal/pipeline"
 	"branchsim/internal/predictor"
 	"branchsim/internal/stats"
+	"branchsim/internal/trace"
+	"branchsim/internal/tracestore"
 	"branchsim/internal/workload"
 )
 
@@ -45,6 +47,9 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Streams are recorded once per benchmark and replayed for every
+	// predictor kind (see internal/tracestore).
+	store := tracestore.New()
 	for _, kind := range strings.Split(*predictors, ",") {
 		kind = strings.TrimSpace(kind)
 		if kind == "" {
@@ -58,8 +63,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			src := store.Source(
+				tracestore.Key{Name: prof.Name, Seed: prof.Seed, Insts: *insts},
+				func() trace.Source { return workload.New(prof) })
 			sim := pipeline.New(pipeline.DefaultConfig(), p)
-			res := sim.Run(workload.New(prof), *insts, *warmup)
+			res := sim.Run(src, *insts, *warmup)
 			ipcs = append(ipcs, res.IPC())
 			extra := ""
 			if res.OverrideRate > 0 {

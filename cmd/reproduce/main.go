@@ -65,6 +65,11 @@ func main() {
 		}
 		file.Experiments = append(file.Experiments, results.FromOutcome(outcome))
 	}
+	if *timings {
+		n, bytes := experiments.TraceStoreStats()
+		fmt.Fprintf(os.Stderr, "(trace store: %d recordings, %.1f MB; streams generated once, replayed per grid cell)\n",
+			n, float64(bytes)/(1<<20))
+	}
 	if *jsonPath != "" {
 		if err := file.Save(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)

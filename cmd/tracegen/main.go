@@ -1,11 +1,16 @@
 // Command tracegen dumps the synthetic benchmark instruction streams for
 // inspection: either a human-readable listing of the first N instructions
-// or summary statistics of a longer run.
+// or summary statistics of a longer run. It also records streams to — and
+// replays them from — the deterministic varint-delta binary trace format,
+// the offline half of the record/replay layer the experiment grid uses in
+// memory.
 //
 // Examples:
 //
-//	tracegen -benchmark gzip -n 40           # listing
+//	tracegen -benchmark gzip -n 40                # listing
 //	tracegen -benchmark twolf -stats -n 2000000
+//	tracegen -benchmark gcc -n 1000000 -record gcc.bptrace
+//	tracegen -replay gcc.bptrace -stats -n 1000000
 package main
 
 import (
@@ -23,25 +28,67 @@ func main() {
 		benchmark = flag.String("benchmark", "gzip", "benchmark name")
 		n         = flag.Int64("n", 32, "instructions to emit / analyze")
 		stat      = flag.Bool("stats", false, "print summary statistics instead of a listing")
+		record    = flag.String("record", "", "record the first -n instructions to this trace file")
+		replay    = flag.String("replay", "", "replay the stream from this trace file instead of generating it")
 	)
 	flag.Parse()
 
-	prof, ok := workload.ByName(*benchmark)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q\n", *benchmark)
-		os.Exit(1)
+	var src trace.Source
+	var prog *workload.Program
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := trace.ReadRecording(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		src = rec.Replay()
+	} else {
+		prof, ok := workload.ByName(*benchmark)
+		if !ok {
+			fatal(fmt.Errorf("tracegen: unknown benchmark %q", *benchmark))
+		}
+		prog = workload.New(prof)
+		src = prog
 	}
-	p := workload.New(prof)
+
+	if *record != "" {
+		rec := trace.Record(src, *n)
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		written, err := rec.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: recorded %d instructions (%d bytes) to %s\n",
+			rec.Len(), written, *record)
+		// Listing/stats below replay the recording just written, so
+		// -record composes with both output modes.
+		src = rec.Replay()
+	}
 
 	if *stat {
-		printStats(p, *n)
+		printStats(src, prog, *n)
 		return
 	}
+	printListing(src, *n)
+}
 
+func printListing(src trace.Source, n int64) {
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	var inst trace.Inst
-	for i := int64(0); i < *n && p.Next(&inst); i++ {
+	for i := int64(0); i < n && src.Next(&inst); i++ {
 		switch inst.Kind {
 		case trace.CondBranch:
 			dir := "N"
@@ -61,11 +108,14 @@ func main() {
 	}
 }
 
-func printStats(p *workload.Program, n int64) {
+// printStats summarizes up to n instructions of src. prog is non-nil only
+// for live generation, where the static program shape is known.
+func printStats(src trace.Source, prog *workload.Program, n int64) {
 	var inst trace.Inst
 	kinds := make([]int64, trace.NumKinds)
-	var taken, branches int64
-	for i := int64(0); i < n && p.Next(&inst); i++ {
+	var insts, taken, branches int64
+	for insts < n && src.Next(&inst) {
+		insts++
 		kinds[inst.Kind]++
 		if inst.Kind == trace.CondBranch {
 			branches++
@@ -74,11 +124,12 @@ func printStats(p *workload.Program, n int64) {
 			}
 		}
 	}
-	insts, _, _ := p.Stats()
-	fmt.Printf("benchmark:        %s\n", p.Name())
+	fmt.Printf("benchmark:        %s\n", src.Name())
 	fmt.Printf("instructions:     %d\n", insts)
-	fmt.Printf("static branches:  %d\n", p.StaticBranches())
-	fmt.Printf("code footprint:   %d bytes\n", p.CodeFootprint())
+	if prog != nil {
+		fmt.Printf("static branches:  %d\n", prog.StaticBranches())
+		fmt.Printf("code footprint:   %d bytes\n", prog.CodeFootprint())
+	}
 	for k := 0; k < trace.NumKinds; k++ {
 		fmt.Printf("  %-6s %9d (%5.2f%%)\n", trace.Kind(k), kinds[k],
 			100*float64(kinds[k])/float64(insts))
@@ -86,4 +137,9 @@ func printStats(p *workload.Program, n int64) {
 	if branches > 0 {
 		fmt.Printf("taken rate:       %.2f%%\n", 100*float64(taken)/float64(branches))
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

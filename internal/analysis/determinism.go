@@ -10,8 +10,11 @@ import (
 // (internal/...): importing math/rand (whose stream changed across Go
 // releases — the repo owns internal/rng instead), reading wall clocks with
 // time.Now/time.Since, and consulting the environment with
-// os.Getenv/os.LookupEnv. Simulation results must be a pure function of the
-// configuration and the seed.
+// os.Getenv/os.LookupEnv/os.Environ. Simulation results must be a pure
+// function of the configuration and the seed; the same holds for trace
+// recordings (internal/trace, internal/tracestore), which are memoized by
+// (profile, seed, budget) and replayed in place of live generation — any
+// hidden input there would silently change every experiment built on them.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid math/rand, time.Now/Since and os.Getenv in simulation packages",
@@ -28,6 +31,7 @@ var bannedCalls = map[string]string{
 	"time.Since":   "wall-clock reads make runs irreproducible",
 	"os.Getenv":    "environment reads make results depend on the host",
 	"os.LookupEnv": "environment reads make results depend on the host",
+	"os.Environ":   "environment reads make results depend on the host",
 }
 
 func runDeterminism(pass *Pass) {

@@ -109,9 +109,39 @@ func testAnalyzer(t *testing.T, a *Analyzer, pathPrefix string) {
 }
 
 func TestDeterminism(t *testing.T) { testAnalyzer(t, Determinism, "branchsim/internal") }
-func TestPanicMsg(t *testing.T)    { testAnalyzer(t, PanicMsg, "branchsim/internal") }
-func TestSizeBytes(t *testing.T)   { testAnalyzer(t, SizeBytes, "branchsim/internal") }
-func TestPow2Mask(t *testing.T)    { testAnalyzer(t, Pow2Mask, "branchsim/internal") }
+
+// TestDeterminismCoversTraceRecording pins the analyzer's reach over the
+// record/replay layer: recordings are memoized by (profile, seed, budget)
+// and substituted for live generation across the whole experiment grid, so
+// internal/trace and internal/tracestore must stay inside the determinism
+// gate. The bad fixture is mounted at both real import paths and must keep
+// producing findings there. A private loader keeps these synthetic packages
+// out of the shared cache, where they would shadow the real ones for the
+// self-host test.
+func TestDeterminismCoversTraceRecording(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for _, importPath := range []string{
+		"branchsim/internal/trace",
+		"branchsim/internal/tracestore",
+	} {
+		t.Run(importPath, func(t *testing.T) {
+			dir := filepath.Join("testdata", "determinism", "bad")
+			pkg, err := loader.LoadDirAs(dir, importPath)
+			if err != nil {
+				t.Fatalf("loading %s as %s: %v", dir, importPath, err)
+			}
+			if fs := Run(pkg, "branchsim", []*Analyzer{Determinism}); len(fs) == 0 {
+				t.Fatalf("determinism produced no findings under %s", importPath)
+			}
+		})
+	}
+}
+func TestPanicMsg(t *testing.T)  { testAnalyzer(t, PanicMsg, "branchsim/internal") }
+func TestSizeBytes(t *testing.T) { testAnalyzer(t, SizeBytes, "branchsim/internal") }
+func TestPow2Mask(t *testing.T)  { testAnalyzer(t, Pow2Mask, "branchsim/internal") }
 
 // FloatCmp only fires inside internal/stats and internal/experiments, so
 // its fixtures mount there; a third pass proves the path gate by running

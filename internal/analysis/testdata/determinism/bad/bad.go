@@ -15,5 +15,6 @@ func Stamp() int64 {
 	if os.Getenv("BRANCHSIM_SEED") != "" { // want "call to os.Getenv"
 		mix++
 	}
+	mix += int64(len(os.Environ()))       // want "call to os.Environ"
 	return mix + int64(time.Since(start)) // want "call to time.Since"
 }

@@ -151,7 +151,7 @@ func MultiBranch(opts Options) *Outcome {
 			g := NewGShareFast(budget)
 			bufEntries = g.BlockBufferEntries(w)
 			sizeBytes = g.BlockSizeBytes(w)
-			res := funcsim.RunBlocks(g, g.Name(), workload.New(prof), funcsim.Options{
+			res := funcsim.RunBlocks(g, g.Name(), source(prof, opts), funcsim.Options{
 				MaxInsts:      opts.Insts,
 				WarmupInsts:   opts.Warmup,
 				FetchWidth:    8,
@@ -289,9 +289,9 @@ func DepthSweep(opts Options) *Outcome {
 		var fast, over []float64
 		for _, prof := range profiles {
 			sim := pipeline.New(cfg, NewGShareFast(budget))
-			fast = append(fast, sim.Run(workload.New(prof), opts.Insts, opts.Warmup).IPC())
+			fast = append(fast, sim.Run(source(prof, opts), opts.Insts, opts.Warmup).IPC())
 			sim2 := pipeline.New(cfg, mustOverriding("perceptron", budget))
-			over = append(over, sim2.Run(workload.New(prof), opts.Insts, opts.Warmup).IPC())
+			over = append(over, sim2.Run(source(prof, opts), opts.Insts, opts.Warmup).IPC())
 		}
 		values[i] = []float64{stats.HarmonicMean(fast), stats.HarmonicMean(over)}
 	})

@@ -69,8 +69,10 @@ func (r Result) MispredictRate() float64 {
 // unit of Figures 1, 5 and 6.
 func (r Result) MispredictPercent() float64 { return 100 * r.MispredictRate() }
 
-// Run streams g through p and returns the accuracy result.
-func Run(p predictor.Predictor, g trace.Generator, opts Options) Result {
+// Run streams src through p and returns the accuracy result. src may be a
+// live generator or a recorded trace's replay cursor; the two are
+// equivalent by construction (see internal/trace).
+func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 	if opts.MaxInsts <= 0 {
 		opts.MaxInsts = 1_000_000
 	}
@@ -81,7 +83,7 @@ func Run(p predictor.Predictor, g trace.Generator, opts Options) Result {
 	var classifier BranchClassifier
 	var classRates map[string]*stats.Rate
 	if opts.PerClass {
-		if c, ok := g.(BranchClassifier); ok {
+		if c, ok := src.(BranchClassifier); ok {
 			classifier = c
 			classRates = make(map[string]*stats.Rate)
 		}
@@ -94,7 +96,7 @@ func Run(p predictor.Predictor, g trace.Generator, opts Options) Result {
 		mispred   stats.Rate
 		lastCycle uint64
 	)
-	for insts < opts.MaxInsts && g.Next(&inst) {
+	for insts < opts.MaxInsts && src.Next(&inst) {
 		insts++
 		if !inst.IsBranch() {
 			continue
@@ -126,7 +128,7 @@ func Run(p predictor.Predictor, g trace.Generator, opts Options) Result {
 	return Result{
 		ClassRates:   classRates,
 		Predictor:    p.Name(),
-		Workload:     g.Name(),
+		Workload:     src.Name(),
 		Insts:        insts,
 		Branches:     mispred.Total,
 		Mispredicts:  mispred.Events,
@@ -142,12 +144,12 @@ type BlockPredictor interface {
 	UpdateBlock(pcs []uint64, takens []bool)
 }
 
-// RunBlocks streams g through a block predictor, grouping up to
+// RunBlocks streams src through a block predictor, grouping up to
 // BlockBranches consecutive branches into one prediction block (all
 // predicted with the history as of the block's start), and returns the
 // accuracy result. It measures the accuracy cost of the stale within-block
 // history that multiple-branch prediction implies (§3.3.1).
-func RunBlocks(p BlockPredictor, name string, g trace.Generator, opts Options) Result {
+func RunBlocks(p BlockPredictor, name string, src trace.Source, opts Options) Result {
 	if opts.MaxInsts <= 0 {
 		opts.MaxInsts = 1_000_000
 	}
@@ -179,7 +181,7 @@ func RunBlocks(p BlockPredictor, name string, g trace.Generator, opts Options) R
 		}
 		pcs, takens, measured = pcs[:0], takens[:0], measured[:0]
 	}
-	for insts < opts.MaxInsts && g.Next(&inst) {
+	for insts < opts.MaxInsts && src.Next(&inst) {
 		insts++
 		if !inst.IsBranch() {
 			continue
@@ -196,7 +198,7 @@ func RunBlocks(p BlockPredictor, name string, g trace.Generator, opts Options) R
 	flush()
 	return Result{
 		Predictor:   name,
-		Workload:    g.Name(),
+		Workload:    src.Name(),
 		Insts:       insts,
 		Branches:    mispred.Total,
 		Mispredicts: mispred.Events,

@@ -188,10 +188,11 @@ func (s *Sim) breakFetch() {
 	s.lastFetchBlock = 0
 }
 
-// Run replays up to maxInsts instructions from g, with the first
+// Run replays up to maxInsts instructions from src (a live generator or a
+// recorded trace cursor), with the first
 // warmupInsts excluded from the reported statistics (caches, predictors and
 // scoreboard state still train). It returns the result summary.
-func (s *Sim) Run(g trace.Generator, maxInsts, warmupInsts int64) Result {
+func (s *Sim) Run(src trace.Source, maxInsts, warmupInsts int64) Result {
 	s.warmupInsts = warmupInsts
 	var (
 		inst        trace.Inst
@@ -200,7 +201,7 @@ func (s *Sim) Run(g trace.Generator, maxInsts, warmupInsts int64) Result {
 	feDepth := uint64(s.cfg.frontEndDepth())
 	blockMask := ^uint64(int64(s.cfg.L1I.LineBytes) - 1)
 
-	for s.insts < maxInsts && g.Next(&inst) {
+	for s.insts < maxInsts && src.Next(&inst) {
 		if s.insts == warmupInsts {
 			warmupCycle = s.lastCommit
 		}
@@ -354,6 +355,6 @@ func (s *Sim) Run(g trace.Generator, maxInsts, warmupInsts int64) Result {
 
 	s.cycles = s.lastCommit - warmupCycle
 	r := s.result(warmupInsts)
-	r.Workload = g.Name()
+	r.Workload = src.Name()
 	return r
 }

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format (cmd/tracegen -record / -replay): a deterministic
+// varint-delta encoding of a Recording. The format is a pure function of
+// the instruction stream, so encode→decode→encode is byte-identical (the
+// round-trip test in codec_test.go enforces this).
+//
+//	magic   "BPTRACE1"
+//	name    uvarint length + bytes
+//	insts   uvarint count
+//	then per instruction, in stream order:
+//	  meta    1 byte (kind | taken | hasAddr | hasTarget, as in recording.go)
+//	  src1, src2, dst   1 byte each (int8)
+//	  pc      zigzag varint delta from the previous instruction's PC
+//	  addr    zigzag varint delta from the previous recorded Addr (only if hasAddr)
+//	  target  zigzag varint delta from the previous recorded Target (only if hasTarget)
+//
+// Delta+zigzag keeps sequential PCs (usually +4) and strided addresses to
+// one or two bytes each.
+const traceMagic = "BPTRACE1"
+
+// zigzag maps a signed delta to an unsigned varint-friendly value.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// countingWriter tracks bytes written for WriteTo's contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteTo encodes the recording in the binary trace format. It implements
+// io.WriterTo.
+func (r *Recording) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		bw.Write(scratch[:binary.PutUvarint(scratch[:], v)])
+	}
+	bw.WriteString(traceMagic)
+	putUvarint(uint64(len(r.name)))
+	bw.WriteString(r.name)
+	putUvarint(uint64(r.insts))
+
+	var inst Inst
+	var prevPC, prevAddr, prevTarget uint64
+	cur := r.Replay()
+	for cur.Next(&inst) {
+		m := uint8(inst.Kind) & metaKindMask
+		if inst.Taken {
+			m |= metaTaken
+		}
+		if inst.Addr != 0 {
+			m |= metaHasAddr
+		}
+		if inst.Target != 0 {
+			m |= metaHasTarget
+		}
+		bw.WriteByte(m)
+		bw.WriteByte(uint8(inst.Src1))
+		bw.WriteByte(uint8(inst.Src2))
+		bw.WriteByte(uint8(inst.Dst))
+		putUvarint(zigzag(int64(inst.PC - prevPC)))
+		prevPC = inst.PC
+		if m&metaHasAddr != 0 {
+			putUvarint(zigzag(int64(inst.Addr - prevAddr)))
+			prevAddr = inst.Addr
+		}
+		if m&metaHasTarget != 0 {
+			putUvarint(zigzag(int64(inst.Target - prevTarget)))
+			prevTarget = inst.Target
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadRecording decodes a binary trace written by WriteTo.
+func ReadRecording(rd io.Reader) (*Recording, error) {
+	br := bufio.NewReader(rd)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (want %q)", magic, traceMagic)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	const maxNameLen = 1 << 10
+	if nameLen > maxNameLen {
+		return nil, fmt.Errorf("trace: name length %d exceeds limit %d", nameLen, maxNameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	insts, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading instruction count: %w", err)
+	}
+
+	rec := &Recording{name: string(name)}
+	var inst Inst
+	var prevPC, prevAddr, prevTarget uint64
+	for i := uint64(0); i < insts; i++ {
+		hdr := make([]byte, 4)
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return nil, fmt.Errorf("trace: instruction %d: %w", i, err)
+		}
+		m := hdr[0]
+		if Kind(m&metaKindMask) >= numKinds {
+			return nil, fmt.Errorf("trace: instruction %d: invalid kind %d", i, m&metaKindMask)
+		}
+		inst.Kind = Kind(m & metaKindMask)
+		inst.Taken = m&metaTaken != 0
+		inst.Src1 = int8(hdr[1])
+		inst.Src2 = int8(hdr[2])
+		inst.Dst = int8(hdr[3])
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: instruction %d pc: %w", i, err)
+		}
+		prevPC += uint64(unzigzag(d))
+		inst.PC = prevPC
+		inst.Addr = 0
+		if m&metaHasAddr != 0 {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: instruction %d addr: %w", i, err)
+			}
+			prevAddr += uint64(unzigzag(d))
+			inst.Addr = prevAddr
+		}
+		inst.Target = 0
+		if m&metaHasTarget != 0 {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: instruction %d target: %w", i, err)
+			}
+			prevTarget += uint64(unzigzag(d))
+			inst.Target = prevTarget
+		}
+		rec.append(&inst)
+	}
+	return rec, nil
+}

@@ -1,0 +1,163 @@
+package trace
+
+// A Recording is a materialized instruction stream: the record half of the
+// record/replay trace layer. The experiment grid records each benchmark's
+// stream once and replays it for every (predictor, budget) cell, the way
+// trace-driven simulators amortize workload capture across a design sweep.
+//
+// Storage is struct-of-arrays, split into fixed-size chunks so recording
+// allocates incrementally (no doubling spikes, bounded slack) and so the
+// file codec (codec.go) can frame the stream. Two columns are sparse: Addr
+// is stored only for instructions that carry one (loads/stores) and Target
+// only for control transfers, cutting memory roughly in half versus []Inst.
+// Replay reconstructs every Inst field bit-for-bit, which the equivalence
+// tests in internal/tracestore enforce against live generation.
+type Recording struct {
+	name   string
+	chunks []chunk
+	insts  int64
+}
+
+// chunkLen is the instruction capacity of one chunk. At 64Ki instructions
+// a chunk costs at most ~1.5 MB fully populated, so recording grows in
+// bounded steps and partial tail chunks waste little.
+const chunkLen = 1 << 16
+
+// Per-instruction metadata bits packed alongside the 3-bit Kind.
+const (
+	metaKindMask  = 0x07
+	metaTaken     = 0x08 // CondBranch resolved taken
+	metaHasAddr   = 0x10 // instruction carries a nonzero Addr
+	metaHasTarget = 0x20 // instruction carries a nonzero Target
+)
+
+// chunk is one struct-of-arrays segment of the stream. addr and target are
+// positional side arrays: one entry per instruction whose meta byte sets
+// the corresponding bit, in stream order.
+type chunk struct {
+	meta   []uint8
+	src1   []int8
+	src2   []int8
+	dst    []int8
+	pc     []uint64
+	addr   []uint64
+	target []uint64
+}
+
+func (c *chunk) append(inst *Inst) {
+	m := uint8(inst.Kind) & metaKindMask
+	if inst.Taken {
+		m |= metaTaken
+	}
+	if inst.Addr != 0 {
+		m |= metaHasAddr
+		c.addr = append(c.addr, inst.Addr)
+	}
+	if inst.Target != 0 {
+		m |= metaHasTarget
+		c.target = append(c.target, inst.Target)
+	}
+	c.meta = append(c.meta, m)
+	c.src1 = append(c.src1, inst.Src1)
+	c.src2 = append(c.src2, inst.Src2)
+	c.dst = append(c.dst, inst.Dst)
+	c.pc = append(c.pc, inst.PC)
+}
+
+// Record drains up to maxInsts instructions from src into a new Recording.
+// The recording is immutable afterwards, so any number of Replay cursors
+// may read it concurrently.
+func Record(src Source, maxInsts int64) *Recording {
+	rec := &Recording{name: src.Name()}
+	var inst Inst
+	for rec.insts < maxInsts && src.Next(&inst) {
+		rec.append(&inst)
+	}
+	return rec
+}
+
+func (r *Recording) append(inst *Inst) {
+	if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1].meta) == chunkLen {
+		r.chunks = append(r.chunks, chunk{
+			meta: make([]uint8, 0, chunkLen),
+			src1: make([]int8, 0, chunkLen),
+			src2: make([]int8, 0, chunkLen),
+			dst:  make([]int8, 0, chunkLen),
+			pc:   make([]uint64, 0, chunkLen),
+		})
+	}
+	r.chunks[len(r.chunks)-1].append(inst)
+	r.insts++
+}
+
+// Name returns the recorded workload's name.
+func (r *Recording) Name() string { return r.name }
+
+// Len returns the number of recorded instructions.
+func (r *Recording) Len() int64 { return r.insts }
+
+// SizeBytes returns the in-memory footprint of the recorded columns.
+func (r *Recording) SizeBytes() int64 {
+	var n int64
+	for i := range r.chunks {
+		c := &r.chunks[i]
+		n += int64(len(c.meta)) + int64(len(c.src1)) + int64(len(c.src2)) +
+			int64(len(c.dst)) + 8*int64(len(c.pc)) +
+			8*int64(len(c.addr)) + 8*int64(len(c.target))
+	}
+	return n
+}
+
+// Replay returns a new cursor positioned at the start of the recording.
+// Cursors are independent; each is single-goroutine, but any number may
+// replay one recording concurrently.
+func (r *Recording) Replay() *Cursor { return &Cursor{rec: r} }
+
+// Cursor streams a Recording back as a Source.
+type Cursor struct {
+	rec    *Recording
+	ci     int // current chunk
+	idx    int // next instruction within chunk
+	addrI  int // next sparse addr within chunk
+	targI  int // next sparse target within chunk
+	served int64
+}
+
+// Next implements Source, reconstructing the recorded instruction exactly.
+func (c *Cursor) Next(inst *Inst) bool {
+	for {
+		if c.ci >= len(c.rec.chunks) {
+			return false
+		}
+		ch := &c.rec.chunks[c.ci]
+		if c.idx < len(ch.meta) {
+			m := ch.meta[c.idx]
+			inst.Kind = Kind(m & metaKindMask)
+			inst.Taken = m&metaTaken != 0
+			inst.PC = ch.pc[c.idx]
+			inst.Src1 = ch.src1[c.idx]
+			inst.Src2 = ch.src2[c.idx]
+			inst.Dst = ch.dst[c.idx]
+			if m&metaHasAddr != 0 {
+				inst.Addr = ch.addr[c.addrI]
+				c.addrI++
+			} else {
+				inst.Addr = 0
+			}
+			if m&metaHasTarget != 0 {
+				inst.Target = ch.target[c.targI]
+				c.targI++
+			} else {
+				inst.Target = 0
+			}
+			c.idx++
+			c.served++
+			return true
+		}
+		c.ci++
+		c.idx, c.addrI, c.targI = 0, 0, 0
+	}
+}
+
+// Name implements Source.
+func (c *Cursor) Name() string { return c.rec.name }

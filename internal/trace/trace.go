@@ -81,9 +81,11 @@ type Inst struct {
 // IsBranch reports whether the instruction is a conditional branch.
 func (i *Inst) IsBranch() bool { return i.Kind == CondBranch }
 
-// Generator produces a dynamic instruction stream. Implementations must be
-// deterministic for a given construction seed.
-type Generator interface {
+// Source produces a dynamic instruction stream. Both live generators
+// (workload.Program) and recorded-trace cursors (Recording.Replay)
+// implement it; the simulators consume either interchangeably.
+// Implementations must be deterministic for a given construction seed.
+type Source interface {
 	// Next fills inst with the next dynamic instruction and reports
 	// whether one was produced; false means end of stream.
 	Next(inst *Inst) bool
@@ -91,10 +93,14 @@ type Generator interface {
 	Name() string
 }
 
+// Generator is the historical name for a Source that synthesizes its
+// stream live; kept as an alias for the public API.
+type Generator = Source
+
 // CountBranches drains up to maxInsts instructions from g and returns the
 // instruction and conditional-branch counts — a convenience for tests and
 // workload characterization.
-func CountBranches(g Generator, maxInsts int64) (insts, branches int64) {
+func CountBranches(g Source, maxInsts int64) (insts, branches int64) {
 	var in Inst
 	for insts < maxInsts && g.Next(&in) {
 		insts++

@@ -533,13 +533,6 @@ func b2u(b bool) uint64 {
 	return 0
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // BranchClassName implements funcsim's optional classifier diagnostic: it
 // reports the behaviour class of the static branch at pc.
 func (p *Program) BranchClassName(pc uint64) (string, bool) {

@@ -1,0 +1,40 @@
+package workload
+
+import "branchsim/internal/trace"
+
+// Record materializes a profile's deterministic stream: it instantiates the
+// synthetic program and records its first maxInsts instructions. The
+// recording is a pure function of (prof, maxInsts); replaying it is
+// bit-identical to streaming a fresh New(prof), which the equivalence tests
+// in internal/tracestore enforce.
+func Record(prof Profile, maxInsts int64) *trace.Recording {
+	return trace.Record(New(prof), maxInsts)
+}
+
+// branchClassifier mirrors funcsim.BranchClassifier without importing it.
+type branchClassifier interface {
+	BranchClassName(pc uint64) (string, bool)
+}
+
+// classifiedSource pairs a replayed stream with the profile's static branch
+// index so per-class diagnostics keep working against replayed PCs.
+type classifiedSource struct {
+	trace.Source
+	prog *Program
+}
+
+func (c *classifiedSource) BranchClassName(pc uint64) (string, bool) {
+	return c.prog.BranchClassName(pc)
+}
+
+// Classify wraps src with prof's static-branch class index (used by
+// funcsim's PerClass diagnostics). A live *Program classifies itself and is
+// returned unchanged; a replay cursor gains the index from a freshly
+// constructed program, whose static branches are identical because
+// construction is deterministic in prof.Seed.
+func Classify(src trace.Source, prof Profile) trace.Source {
+	if _, ok := src.(branchClassifier); ok {
+		return src
+	}
+	return &classifiedSource{Source: src, prog: New(prof)}
+}

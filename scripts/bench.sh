@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench.sh tracks the record/replay trace layer's performance trajectory.
+# It runs the trace benchmarks from bench_test.go and writes BENCH_trace.json
+# at the repo root: per-instruction generate/replay cost and the grid-level
+# accuracy-sweep comparison (regenerate per cell vs record once + replay),
+# whose speedup is the number the tentpole refactor is accountable for.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 3x per sweep iteration)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime=${1:-3x}
+out=BENCH_trace.json
+
+echo "==> go test -bench (trace layer, benchtime=$benchtime)"
+raw=$(go test -run '^$' \
+    -bench '^(BenchmarkGenerateStream|BenchmarkReplayStream)$' \
+    -benchtime 2000000x . &&
+    go test -run '^$' \
+        -bench '^(BenchmarkAccuracySweepRegenerate|BenchmarkAccuracySweepReplay)$' \
+        -benchtime "$benchtime" .)
+echo "$raw"
+
+# ns/op for one named benchmark from the combined `go test -bench` output.
+nsop() {
+    echo "$raw" | awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { print $3; exit }'
+}
+
+gen=$(nsop BenchmarkGenerateStream)
+rep=$(nsop BenchmarkReplayStream)
+regen=$(nsop BenchmarkAccuracySweepRegenerate)
+replay=$(nsop BenchmarkAccuracySweepReplay)
+for v in "$gen" "$rep" "$regen" "$replay"; do
+    if [ -z "$v" ]; then
+        echo "bench.sh: missing benchmark result in output above" >&2
+        exit 1
+    fi
+done
+
+awk -v gen="$gen" -v rep="$rep" -v regen="$regen" -v replay="$replay" \
+    'BEGIN {
+        printf "{\n"
+        printf "  \"generate_stream_ns_per_inst\": %.2f,\n", gen
+        printf "  \"replay_stream_ns_per_inst\": %.2f,\n", rep
+        printf "  \"stream_speedup\": %.2f,\n", gen / rep
+        printf "  \"accuracy_sweep_regenerate_ns\": %.0f,\n", regen
+        printf "  \"accuracy_sweep_replay_ns\": %.0f,\n", replay
+        printf "  \"accuracy_sweep_speedup\": %.2f\n", regen / replay
+        printf "}\n"
+    }' > "$out"
+
+echo "==> wrote $out"
+cat "$out"
+
+speedup=$(awk -v a="$regen" -v b="$replay" 'BEGIN { print (a / b >= 1.5) ? "ok" : "low" }')
+if [ "$speedup" != "ok" ]; then
+    echo "bench.sh: accuracy-sweep speedup below 1.5x" >&2
+    exit 1
+fi

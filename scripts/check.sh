@@ -22,6 +22,9 @@ go vet ./...
 echo "==> bplint ./..."
 go run ./cmd/bplint ./...
 
+echo "==> replay equivalence (live vs recorded streams, race-enabled)"
+go test -race -run 'TestReplayEquivalence|TestConcurrentReplay|TestClassifiedReplay' ./internal/tracestore
+
 echo "==> go test -race ./..."
 go test -race ./...
 
