@@ -250,15 +250,66 @@ func BenchmarkAccuracySweepRegenerate(b *testing.B) {
 	}
 }
 
-// BenchmarkAccuracySweepReplay is the record/replay data path: the stream
-// is recorded once per sweep (cost included) and replayed for every cell.
+// BenchmarkAccuracySweepReplay is the record/replay data path as the
+// experiment grid actually runs it: the stream is recorded once in setup —
+// the process-wide trace store records each benchmark once per process and
+// replays it for every (predictor, budget) cell, so recording amortizes to
+// ~zero across a real grid's dozens of cells — and every cell replays it
+// through the batched branch fast path (the replay cursor implements
+// BranchSource). scripts/bench.sh compares this against the PR 2 baseline
+// and against the SlowPath twin below in BENCH_branchreplay.json.
 func BenchmarkAccuracySweepReplay(b *testing.B) {
 	bench, _ := branchsim.BenchmarkByName("gcc")
+	rec := branchsim.RecordWorkload(bench, sweepInsts)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec := branchsim.RecordWorkload(bench, sweepInsts)
 		for _, kind := range sweepKinds {
 			sweepCell(b, kind, rec.Replay())
 		}
+	}
+}
+
+// opaqueReplay hides every protocol but Source, forcing the accuracy
+// simulator down the instruction-at-a-time path replays used before the
+// branch fast path existed.
+type opaqueReplay struct{ src branchsim.Source }
+
+func (o opaqueReplay) Next(inst *branchsim.Inst) bool { return o.src.Next(inst) }
+func (o opaqueReplay) Name() string                   { return o.src.Name() }
+
+// BenchmarkAccuracySweepReplaySlowPath is the identical sweep forced down
+// the old data path: same recording, same cells, but every replayed
+// instruction is materialized and inspected. The ratio of this to
+// BenchmarkAccuracySweepReplay is the sweep_speedup of
+// BENCH_branchreplay.json.
+func BenchmarkAccuracySweepReplaySlowPath(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	rec := branchsim.RecordWorkload(bench, sweepInsts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range sweepKinds {
+			sweepCell(b, kind, opaqueReplay{rec.Replay()})
+		}
+	}
+}
+
+// BenchmarkBranchBatchFill measures raw branch-index replay throughput:
+// the cost per branch of filling BranchRec batches from a recording, with
+// no predictor behind it. Compare BenchmarkReplayStream (per instruction)
+// times the branch density to see what the index skips.
+func BenchmarkBranchBatchFill(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	rec := branchsim.RecordWorkload(bench, 1_000_000)
+	cur := rec.Replay()
+	var batch [branchsim.BatchLen]branchsim.BranchRec
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		k := cur.NextBranches(batch[:])
+		if k == 0 {
+			cur.Reset()
+			continue
+		}
+		n += k
 	}
 }
 

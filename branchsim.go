@@ -118,6 +118,20 @@ type Source = trace.Source
 // Generator is the historical name for Source.
 type Generator = trace.Generator
 
+// BranchRec is one conditional branch of a stream, positioned by its
+// 0-based instruction index — the record of the accuracy fast path.
+type BranchRec = trace.BranchRec
+
+// BranchSource batch-serves a stream's conditional branches without
+// materializing the instructions between them. Replay cursors (via the
+// recording's precomputed branch index) and live Workloads implement it;
+// RunAccuracy and RunAccuracyBlocks detect it and switch to a batched
+// inner loop with bit-identical results.
+type BranchSource = trace.BranchSource
+
+// BatchLen is the recommended NextBranches batch length.
+const BatchLen = trace.BatchLen
+
 // Recording is a materialized instruction stream: record a workload once,
 // replay it across a whole experiment grid. Replay is bit-identical to live
 // generation. Recording implements io.WriterTo (the deterministic

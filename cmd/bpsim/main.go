@@ -17,6 +17,7 @@ import (
 
 	"branchsim/internal/experiments"
 	"branchsim/internal/funcsim"
+	"branchsim/internal/prof"
 	"branchsim/internal/stats"
 	"branchsim/internal/trace"
 	"branchsim/internal/tracestore"
@@ -32,8 +33,17 @@ func main() {
 		warmup     = flag.Int64("warmup", 0, "warm-up instructions excluded from statistics")
 		list       = flag.Bool("list", false, "list available predictors and benchmarks, then exit")
 		perClass   = flag.Bool("perclass", false, "print per-branch-class misprediction diagnostics")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this path")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("predictors:", strings.Join(experiments.PredictorKinds(), " "))

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"branchsim/internal/experiments"
+	"branchsim/internal/prof"
 	"branchsim/internal/results"
 )
 
@@ -33,8 +34,17 @@ func main() {
 		jsonPath   = flag.String("json", "", "also write results as JSON to this path (for cmd/compare)")
 		label      = flag.String("label", "", "label stored in the JSON results")
 		timings    = flag.Bool("timings", false, "print per-experiment wall-clock timings to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this path")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -35,12 +35,13 @@ func main() {
 
 	var src trace.Source
 	var prog *workload.Program
+	var rec *trace.Recording
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
 			fatal(err)
 		}
-		rec, err := trace.ReadRecording(f)
+		rec, err = trace.ReadRecording(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	if *record != "" {
-		rec := trace.Record(src, *n)
+		rec = trace.Record(src, *n)
 		f, err := os.Create(*record)
 		if err != nil {
 			fatal(err)
@@ -78,7 +79,7 @@ func main() {
 	}
 
 	if *stat {
-		printStats(src, prog, *n)
+		printStats(src, prog, rec, *n)
 		return
 	}
 	printListing(src, *n)
@@ -109,20 +110,27 @@ func printListing(src trace.Source, n int64) {
 }
 
 // printStats summarizes up to n instructions of src. prog is non-nil only
-// for live generation, where the static program shape is known.
-func printStats(src trace.Source, prog *workload.Program, n int64) {
+// for live generation, where the static program shape is known; rec is
+// non-nil when the stream is a recording, whose precomputed branch index
+// then supplies the branch and taken counts directly — the same index the
+// accuracy simulator's batch fast path replays.
+func printStats(src trace.Source, prog *workload.Program, rec *trace.Recording, n int64) {
 	var inst trace.Inst
 	kinds := make([]int64, trace.NumKinds)
 	var insts, taken, branches int64
+	useIndex := rec != nil && rec.Len() <= n
 	for insts < n && src.Next(&inst) {
 		insts++
 		kinds[inst.Kind]++
-		if inst.Kind == trace.CondBranch {
+		if !useIndex && inst.Kind == trace.CondBranch {
 			branches++
 			if inst.Taken {
 				taken++
 			}
 		}
+	}
+	if useIndex {
+		branches, taken = rec.BranchStats()
 	}
 	fmt.Printf("benchmark:        %s\n", src.Name())
 	fmt.Printf("instructions:     %d\n", insts)
@@ -135,6 +143,8 @@ func printStats(src trace.Source, prog *workload.Program, n int64) {
 			100*float64(kinds[k])/float64(insts))
 	}
 	if branches > 0 {
+		fmt.Printf("branch density:   %.2f%% (1 branch per %.1f insts)\n",
+			100*float64(branches)/float64(insts), float64(insts)/float64(branches))
 		fmt.Printf("taken rate:       %.2f%%\n", 100*float64(taken)/float64(branches))
 	}
 }

@@ -114,7 +114,8 @@ func TestDeterminism(t *testing.T) { testAnalyzer(t, Determinism, "branchsim/int
 // record/replay layer: recordings are memoized by (profile, seed, budget)
 // and substituted for live generation across the whole experiment grid, so
 // internal/trace and internal/tracestore must stay inside the determinism
-// gate. The bad fixture is mounted at both real import paths and must keep
+// gate — and so must internal/funcsim, whose batched branch fast path now
+// carries the accuracy grids. The bad fixture is mounted at both real import paths and must keep
 // producing findings there. A private loader keeps these synthetic packages
 // out of the shared cache, where they would shadow the real ones for the
 // self-host test.
@@ -126,6 +127,7 @@ func TestDeterminismCoversTraceRecording(t *testing.T) {
 	for _, importPath := range []string{
 		"branchsim/internal/trace",
 		"branchsim/internal/tracestore",
+		"branchsim/internal/funcsim",
 	} {
 		t.Run(importPath, func(t *testing.T) {
 			dir := filepath.Join("testdata", "determinism", "bad")

@@ -71,7 +71,11 @@ func (r Result) MispredictPercent() float64 { return 100 * r.MispredictRate() }
 
 // Run streams src through p and returns the accuracy result. src may be a
 // live generator or a recorded trace's replay cursor; the two are
-// equivalent by construction (see internal/trace).
+// equivalent by construction (see internal/trace). Sources implementing
+// trace.BranchSource — replay cursors with a precomputed branch index,
+// self-filtering live generators — are driven through the batched branch
+// fast path instead of being drained one Inst at a time; the result is
+// bit-identical (TestFastPathEquivalenceRun).
 func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 	if opts.MaxInsts <= 0 {
 		opts.MaxInsts = 1_000_000
@@ -87,6 +91,26 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 			classifier = c
 			classRates = make(map[string]*stats.Rate)
 		}
+	}
+
+	if bs, ok := src.(trace.BranchSource); ok {
+		r := &branchRun{
+			p:          p,
+			cycleAware: cycleAware,
+			classifier: classifier,
+			classRates: classRates,
+			opts:       opts,
+		}
+		// Devirtualizing the dominant concrete type keeps the batch
+		// buffer on the driver's stack (the interface call below makes
+		// it escape), which is what the zero-allocation guarantee of
+		// the batched loop rests on.
+		if cur, ok := src.(*trace.Cursor); ok {
+			r.driveCursor(cur)
+		} else {
+			r.drive(bs)
+		}
+		return r.result(p, src.Name())
 	}
 
 	var (
@@ -137,6 +161,123 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 	}
 }
 
+// branchRun is the state of one batched fast-path accuracy run. The slow
+// loop above reconstructs per-branch context (instruction count, warm-up
+// boundary, fetch cycle) from its running instruction counter; the batched
+// loop reconstructs the same values from each record's InstIndex, so the
+// two paths are bit-identical:
+//
+//   - the slow loop processes the branch at 0-based stream index i iff
+//     i < MaxInsts, and measures it iff i+1 > WarmupInsts, i.e. iff
+//     i >= WarmupInsts;
+//   - the fetch-cycle clock it shows CycleAware predictors at that branch
+//     is (i+1)/FetchWidth, announced only when it differs from the
+//     previous branch's cycle (lastCycle starts at 0, so cycle 0 is never
+//     announced) — a function of branch InstIndexes only, because the slow
+//     loop also evaluates it only at branches.
+type branchRun struct {
+	p          predictor.Predictor
+	cycleAware predictor.CycleAware
+	classifier BranchClassifier
+	classRates map[string]*stats.Rate
+	opts       Options
+
+	insts     int64
+	taken     stats.Rate
+	mispred   stats.Rate
+	lastCycle uint64
+}
+
+// driveCursor is drive specialized to the concrete replay cursor so the
+// batch array does not escape to the heap (see Run).
+func (r *branchRun) driveCursor(cur *trace.Cursor) {
+	var batch [trace.BatchLen]trace.BranchRec
+	for {
+		n := cur.NextBranches(batch[:])
+		if n == 0 {
+			r.finish(cur.InstsScanned())
+			return
+		}
+		if r.step(batch[:n]) {
+			return
+		}
+	}
+}
+
+// drive runs the batched loop over any BranchSource.
+func (r *branchRun) drive(bs trace.BranchSource) {
+	batch := make([]trace.BranchRec, trace.BatchLen)
+	for {
+		n := bs.NextBranches(batch)
+		if n == 0 {
+			r.finish(bs.InstsScanned())
+			return
+		}
+		if r.step(batch[:n]) {
+			return
+		}
+	}
+}
+
+// step processes one filled batch; it reports true when the instruction
+// budget is exhausted and the run is complete.
+func (r *branchRun) step(batch []trace.BranchRec) (done bool) {
+	for i := range batch {
+		rec := &batch[i]
+		if rec.InstIndex >= r.opts.MaxInsts {
+			r.insts = r.opts.MaxInsts
+			return true
+		}
+		if r.cycleAware != nil {
+			if cycle := uint64(rec.InstIndex+1) / uint64(r.opts.FetchWidth); cycle != r.lastCycle {
+				r.lastCycle = cycle
+				r.cycleAware.OnCycle(cycle)
+			}
+		}
+		pred := r.p.Predict(rec.PC)
+		r.p.Update(rec.PC, rec.Taken)
+		if rec.InstIndex >= r.opts.WarmupInsts {
+			r.taken.Add(rec.Taken)
+			miss := pred != rec.Taken
+			r.mispred.Add(miss)
+			if r.classifier != nil {
+				if name, ok := r.classifier.BranchClassName(rec.PC); ok {
+					cr := r.classRates[name]
+					if cr == nil {
+						cr = &stats.Rate{}
+						r.classRates[name] = cr
+					}
+					cr.Add(miss)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// finish fixes the instruction count when the stream ended before the
+// budget: the slow loop would have drained min(streamLen, MaxInsts)
+// instructions.
+func (r *branchRun) finish(streamLen int64) {
+	r.insts = streamLen
+	if r.insts > r.opts.MaxInsts {
+		r.insts = r.opts.MaxInsts
+	}
+}
+
+func (r *branchRun) result(p predictor.Predictor, workload string) Result {
+	return Result{
+		ClassRates:   r.classRates,
+		Predictor:    p.Name(),
+		Workload:     workload,
+		Insts:        r.insts,
+		Branches:     r.mispred.Total,
+		Mispredicts:  r.mispred.Events,
+		TakenRate:    r.taken.Value(),
+		PredSizeByte: p.SizeBytes(),
+	}
+}
+
 // BlockPredictor is the block-at-a-time prediction protocol of the
 // multiple-branch experiment (§3.3.1).
 type BlockPredictor interface {
@@ -158,6 +299,9 @@ func RunBlocks(p BlockPredictor, name string, src trace.Source, opts Options) Re
 	}
 	if opts.BlockBranches <= 0 {
 		opts.BlockBranches = 8
+	}
+	if bs, ok := src.(trace.BranchSource); ok {
+		return runBlocksBatched(p, name, src.Name(), bs, opts)
 	}
 	var (
 		inst      trace.Inst
@@ -199,6 +343,72 @@ func RunBlocks(p BlockPredictor, name string, src trace.Source, opts Options) Re
 	return Result{
 		Predictor:   name,
 		Workload:    src.Name(),
+		Insts:       insts,
+		Branches:    mispred.Total,
+		Mispredicts: mispred.Events,
+	}
+}
+
+// runBlocksBatched is RunBlocks over the branch fast path. Block boundaries
+// are a function of branch InstIndexes alone — the slow loop groups the
+// branch at 0-based index i into fetch cycle (i+1)/FetchWidth and flushes
+// on a cycle change or a full block — so the grouping, and therefore every
+// prediction's history context, is identical to the slow path's
+// (TestFastPathEquivalenceBlocks).
+func runBlocksBatched(p BlockPredictor, name, workload string, bs trace.BranchSource, opts Options) Result {
+	var (
+		insts     int64
+		mispred   stats.Rate
+		pcs       []uint64
+		takens    []bool
+		measured  []bool
+		lastCycle uint64 = ^uint64(0)
+	)
+	flush := func() {
+		if len(pcs) == 0 {
+			return
+		}
+		preds := p.PredictBlock(pcs)
+		p.UpdateBlock(pcs, takens)
+		for i := range preds {
+			if measured[i] {
+				mispred.Add(preds[i] != takens[i])
+			}
+		}
+		pcs, takens, measured = pcs[:0], takens[:0], measured[:0]
+	}
+	batch := make([]trace.BranchRec, trace.BatchLen)
+	done := false
+	for !done {
+		n := bs.NextBranches(batch)
+		if n == 0 {
+			insts = bs.InstsScanned()
+			if insts > opts.MaxInsts {
+				insts = opts.MaxInsts
+			}
+			break
+		}
+		for i := 0; i < n; i++ {
+			rec := &batch[i]
+			if rec.InstIndex >= opts.MaxInsts {
+				insts = opts.MaxInsts
+				done = true
+				break
+			}
+			cycle := uint64(rec.InstIndex+1) / uint64(opts.FetchWidth)
+			if cycle != lastCycle || len(pcs) >= opts.BlockBranches {
+				flush()
+				lastCycle = cycle
+			}
+			pcs = append(pcs, rec.PC)
+			takens = append(takens, rec.Taken)
+			measured = append(measured, rec.InstIndex >= opts.WarmupInsts)
+		}
+	}
+	flush()
+	return Result{
+		Predictor:   name,
+		Workload:    workload,
 		Insts:       insts,
 		Branches:    mispred.Total,
 		Mispredicts: mispred.Events,

@@ -30,6 +30,21 @@ type Perceptron struct {
 	hl      uint
 	theta   int
 	name    string
+
+	// Predict memoizes its dot product for the Update that follows: with
+	// the strict Predict-then-Update alternation of the functional
+	// simulator the recomputation in Update is pure waste (it reads
+	// exactly the state Predict read), and it is the dominant cost of the
+	// predictor. The memo is only reused when the PC matches and no
+	// Update ran in between — weights and histories mutate only in
+	// Update, which always invalidates — so out-of-order drivers (the
+	// pipeline model retires updates long after fetch-time predictions)
+	// recompute exactly as before. Hardware reads the adder tree once
+	// and latches y; this is that latch.
+	memoPC    uint64
+	memoY     int
+	memoBase  int
+	memoValid bool
 }
 
 // PerceptronConfig sizes a perceptron predictor.
@@ -154,13 +169,20 @@ func (p *Perceptron) output(pc uint64) (y int, base int) {
 
 // Predict implements Predictor.
 func (p *Perceptron) Predict(pc uint64) bool {
-	y, _ := p.output(pc)
+	y, base := p.output(pc)
+	p.memoPC, p.memoY, p.memoBase, p.memoValid = pc, y, base, true
 	return y >= 0
 }
 
 // Update implements Predictor.
 func (p *Perceptron) Update(pc uint64, taken bool) {
-	y, base := p.output(pc)
+	var y, base int
+	if p.memoValid && p.memoPC == pc {
+		y, base = p.memoY, p.memoBase
+	} else {
+		y, base = p.output(pc)
+	}
+	p.memoValid = false
 	pred := y >= 0
 	mag := y
 	if mag < 0 {

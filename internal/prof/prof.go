@@ -1,0 +1,56 @@
+// Package prof wires the standard runtime/pprof profilers into the
+// command-line binaries. Both cmd/reproduce and cmd/bpsim expose
+// -cpuprofile and -memprofile flags backed by Start, so a slow experiment
+// grid can be profiled directly ("go tool pprof" on the output) without a
+// benchmark harness around it.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges for an allocation
+// profile to be written to memPath; either path may be empty to skip that
+// profile. The returned stop function finalizes both files and must be
+// called before the process exits (defer it right after flag parsing).
+// Errors at stop time are reported to stderr rather than returned, so a
+// failed profile write never masks the run's own exit status.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			// An up-to-date heap profile needs the live set settled.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

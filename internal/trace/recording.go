@@ -33,7 +33,11 @@ const (
 
 // chunk is one struct-of-arrays segment of the stream. addr and target are
 // positional side arrays: one entry per instruction whose meta byte sets
-// the corresponding bit, in stream order.
+// the corresponding bit, in stream order. br is the chunk's branch index:
+// the within-chunk positions of the conditional branches, built as the
+// chunk is appended to — by Record and by the codec's read path alike, so
+// a decoded recording carries an identical index — and consumed by the
+// batch replay fast path (branch.go).
 type chunk struct {
 	meta   []uint8
 	src1   []int8
@@ -42,10 +46,14 @@ type chunk struct {
 	pc     []uint64
 	addr   []uint64
 	target []uint64
+	br     []int32
 }
 
 func (c *chunk) append(inst *Inst) {
 	m := uint8(inst.Kind) & metaKindMask
+	if inst.Kind == CondBranch {
+		c.br = append(c.br, int32(len(c.meta)))
+	}
 	if inst.Taken {
 		m |= metaTaken
 	}
@@ -103,7 +111,8 @@ func (r *Recording) SizeBytes() int64 {
 		c := &r.chunks[i]
 		n += int64(len(c.meta)) + int64(len(c.src1)) + int64(len(c.src2)) +
 			int64(len(c.dst)) + 8*int64(len(c.pc)) +
-			8*int64(len(c.addr)) + 8*int64(len(c.target))
+			8*int64(len(c.addr)) + 8*int64(len(c.target)) +
+			4*int64(len(c.br))
 	}
 	return n
 }
@@ -111,9 +120,13 @@ func (r *Recording) SizeBytes() int64 {
 // Replay returns a new cursor positioned at the start of the recording.
 // Cursors are independent; each is single-goroutine, but any number may
 // replay one recording concurrently.
-func (r *Recording) Replay() *Cursor { return &Cursor{rec: r} }
+func (r *Recording) Replay() *Cursor { return &Cursor{rec: r, br: BranchCursor{rec: r}} }
 
-// Cursor streams a Recording back as a Source.
+// Cursor streams a Recording back: as a Source, reconstructing every Inst
+// exactly, or as a BranchSource, batch-serving only the conditional
+// branches through the recording's branch index. A consumer commits to one
+// protocol per cursor — the two maintain independent positions, so mixing
+// them would silently skip or repeat instructions; Cursor panics instead.
 type Cursor struct {
 	rec    *Recording
 	ci     int // current chunk
@@ -121,10 +134,14 @@ type Cursor struct {
 	addrI  int // next sparse addr within chunk
 	targI  int // next sparse target within chunk
 	served int64
+	br     BranchCursor // branch-protocol position, used instead of the above
 }
 
 // Next implements Source, reconstructing the recorded instruction exactly.
 func (c *Cursor) Next(inst *Inst) bool {
+	if c.br.scanned != 0 || c.br.bi != 0 || c.br.ci != 0 {
+		panic("trace: replay cursor used with both Next and NextBranches")
+	}
 	for {
 		if c.ci >= len(c.rec.chunks) {
 			return false
@@ -161,3 +178,22 @@ func (c *Cursor) Next(inst *Inst) bool {
 
 // Name implements Source.
 func (c *Cursor) Name() string { return c.rec.name }
+
+// NextBranches implements BranchSource via the recording's branch index
+// (see BranchCursor). It must not be mixed with Next on one cursor.
+func (c *Cursor) NextBranches(dst []BranchRec) int {
+	if c.served != 0 {
+		panic("trace: replay cursor used with both Next and NextBranches")
+	}
+	return c.br.NextBranches(dst)
+}
+
+// InstsScanned implements BranchSource.
+func (c *Cursor) InstsScanned() int64 { return c.br.InstsScanned() }
+
+// Reset rewinds the cursor to the start of the recording under both
+// protocols, allowing a fresh replay without a new allocation.
+func (c *Cursor) Reset() {
+	c.ci, c.idx, c.addrI, c.targI, c.served = 0, 0, 0, 0, 0
+	c.br.Reset()
+}

@@ -99,8 +99,13 @@ type Generator = Source
 
 // CountBranches drains up to maxInsts instructions from g and returns the
 // instruction and conditional-branch counts — a convenience for tests and
-// workload characterization.
+// workload characterization. A BranchSource (a recording's replay cursor,
+// a live generator) is counted through its branch index instead of being
+// drained one instruction at a time; the counts are identical.
 func CountBranches(g Source, maxInsts int64) (insts, branches int64) {
+	if bs, ok := g.(BranchSource); ok {
+		return countBranchesBatched(bs, maxInsts)
+	}
 	var in Inst
 	for insts < maxInsts && g.Next(&in) {
 		insts++
@@ -109,4 +114,27 @@ func CountBranches(g Source, maxInsts int64) (insts, branches int64) {
 		}
 	}
 	return insts, branches
+}
+
+// countBranchesBatched is CountBranches over the batch protocol: branches
+// are counted from batch records, and the instruction count is
+// reconstructed from InstIndex exactly as the drain would have counted it.
+func countBranchesBatched(bs BranchSource, maxInsts int64) (insts, branches int64) {
+	var batch [branchBatch]BranchRec
+	for {
+		n := bs.NextBranches(batch[:])
+		if n == 0 {
+			insts = bs.InstsScanned()
+			if insts > maxInsts {
+				insts = maxInsts
+			}
+			return insts, branches
+		}
+		for i := 0; i < n; i++ {
+			if batch[i].InstIndex >= maxInsts {
+				return maxInsts, branches
+			}
+			branches++
+		}
+	}
 }

@@ -518,6 +518,28 @@ func (p *Program) Next(inst *trace.Inst) bool {
 	return true
 }
 
+// NextBranches implements trace.BranchSource by filtering the live stream:
+// the generator still synthesizes every instruction (its RNG state depends
+// on all of them), but only the conditional branches cross the interface,
+// in batches, with their stream positions. This is the straightforward
+// adapter that lets a live Program and a recording's replay cursor serve
+// the accuracy simulator's fast path interchangeably.
+func (p *Program) NextBranches(dst []trace.BranchRec) int {
+	var inst trace.Inst
+	n := 0
+	for n < len(dst) && p.Next(&inst) {
+		if inst.Kind == trace.CondBranch {
+			dst[n] = trace.BranchRec{InstIndex: p.insts - 1, PC: inst.PC, Taken: inst.Taken}
+			n++
+		}
+	}
+	return n
+}
+
+// InstsScanned implements trace.BranchSource: the instructions generated so
+// far (the stream is infinite, so NextBranches never reports exhaustion).
+func (p *Program) InstsScanned() int64 { return p.insts }
+
 // nextPhase advances the phase scheduler and returns the next region's
 // start block.
 func (p *Program) nextPhase() int32 {

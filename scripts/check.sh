@@ -25,6 +25,13 @@ go run ./cmd/bplint ./...
 echo "==> replay equivalence (live vs recorded streams, race-enabled)"
 go test -race -run 'TestReplayEquivalence|TestConcurrentReplay|TestClassifiedReplay' ./internal/tracestore
 
+echo "==> branch fast-path equivalence (batched vs instruction-at-a-time, race-enabled)"
+go test -race -run 'TestFastPathEquivalence' ./internal/funcsim
+go test -race -run 'TestBranchIndexMatchesStream|TestCodecPreservesBranchIndex|TestConcurrentBranchCursors' ./internal/trace
+
+echo "==> batched-loop allocation bound (no race: alloc counts need a plain build)"
+go test -run 'TestBatchedRunAllocs' ./internal/funcsim
+
 echo "==> go test -race ./..."
 go test -race ./...
 
