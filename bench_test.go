@@ -323,6 +323,112 @@ func BenchmarkPipelineSimulation(b *testing.B) {
 	}
 }
 
+// --- Timing fast-path benchmarks (scripts/bench.sh → BENCH_timing.json).
+// The sweep is one benchmark's design-point column of the real timing grid:
+// the cells Figures 2, 7 (both halves), 8 and the override-rate ablation
+// each visit at the 64KB budget, duplicates included. Fast runs it as
+// cmd/reproduce now does — stream recorded once, cache hierarchy simulated
+// once into a memory sidecar, every cell a batched replay, duplicate cells
+// served from the timing memo. Slow forces the identical cell list down the
+// pre-fast-path route: every cell simulated independently, instruction at a
+// time through the Source interface, with the full cache hierarchy live. ---
+
+// timingGridCells is the design-point cell column: 19 grid visits, 9
+// distinct simulations. Figure 7's ideal perceptron repeats Figure 2's,
+// Figure 8 revisits Figure 7's overriding row per benchmark, the
+// override-rate ablation recounts the realistic cells, and gshare.fast's
+// organization is mode-invariant.
+var timingGridCells = []struct {
+	kind string
+	mode branchsim.TimingMode
+}{
+	// Figure 2: ideal vs realistic, perceptron and multi-component.
+	{"perceptron", branchsim.Ideal}, {"multicomponent", branchsim.Ideal},
+	{"perceptron", branchsim.Realistic}, {"multicomponent", branchsim.Realistic},
+	// Figure 7 left: 1-cycle idealization of the four contenders.
+	{"multicomponent", branchsim.Ideal}, {"2bcgskew", branchsim.Ideal},
+	{"perceptron", branchsim.Ideal}, {"gshare.fast", branchsim.Ideal},
+	// Figure 7 right: the same contenders in the overriding organization.
+	{"multicomponent", branchsim.Realistic}, {"2bcgskew", branchsim.Realistic},
+	{"perceptron", branchsim.Realistic}, {"gshare.fast", branchsim.Realistic},
+	// Figure 8: per-benchmark IPC at the design point — the overriding
+	// row again for this benchmark.
+	{"multicomponent", branchsim.Realistic}, {"2bcgskew", branchsim.Realistic},
+	{"perceptron", branchsim.Realistic}, {"gshare.fast", branchsim.Realistic},
+	// Override-rate ablation: recounts the complex realistic cells.
+	{"multicomponent", branchsim.Realistic}, {"2bcgskew", branchsim.Realistic},
+	{"perceptron", branchsim.Realistic},
+}
+
+const (
+	timingSweepBudget = 64 << 10
+	timingSweepInsts  = 150_000
+	timingSweepWarmup = 37_500
+)
+
+// timingGridOrg mirrors the experiment layer's cell construction through
+// the public facade: Ideal is the bare budget-sized predictor, Realistic
+// puts it behind a small quick gshare in the overriding organization, and
+// the pipelined gshare.fast is its own organization in both modes.
+func timingGridOrg(b *testing.B, kind string, mode branchsim.TimingMode) branchsim.Predictor {
+	b.Helper()
+	if kind == "gshare.fast" {
+		return branchsim.NewGShareFast(timingSweepBudget)
+	}
+	p, err := branchsim.NewPredictorByName(kind, timingSweepBudget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if mode == branchsim.Ideal {
+		return p
+	}
+	return branchsim.NewOverriding(branchsim.NewGShare(512), p, 4)
+}
+
+func timingSweepCell(b *testing.B, res branchsim.TimingResult) {
+	b.Helper()
+	if res.Insts == 0 || res.Cycles == 0 {
+		b.Fatal("degenerate timing cell: no measured instructions")
+	}
+}
+
+// BenchmarkTimingSweepFast times the grid column on the fast path: the
+// process-wide trace store's recording and memory sidecar are warmed in
+// setup (one recording pass and one cache simulation serve every cell, as
+// across a real grid's hundreds), each iteration runs the 19 cells through
+// a fresh timing memo so the 10 duplicates are served from memory and the
+// 9 distinct cells replay through the batched sidecar loop.
+func BenchmarkTimingSweepFast(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	opts := branchsim.ExperimentOptions{Insts: timingSweepInsts, Warmup: timingSweepWarmup, Parallel: 1}
+	branchsim.NewTimingMemo().Cell("gshare", timingSweepBudget, branchsim.Ideal, bench, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memo := branchsim.NewTimingMemo()
+		for _, cell := range timingGridCells {
+			timingSweepCell(b, memo.Cell(cell.kind, timingSweepBudget, cell.mode, bench, opts))
+		}
+	}
+}
+
+// BenchmarkTimingSweepSlow is the identical cell list down the old data
+// path: every cell simulated independently (no memo), every instruction
+// dispatched through the Source interface, the cache hierarchy simulated
+// live per cell. The ratio of this to BenchmarkTimingSweepFast is the
+// fastpath speedup of BENCH_timing.json.
+func BenchmarkTimingSweepSlow(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	cfg := branchsim.DefaultMachine()
+	rec := branchsim.RecordWorkload(bench, timingSweepInsts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cell := range timingGridCells {
+			org := timingGridOrg(b, cell.kind, cell.mode)
+			timingSweepCell(b, branchsim.RunTiming(cfg, org, opaqueReplay{rec.Replay()}, timingSweepInsts, timingSweepWarmup))
+		}
+	}
+}
+
 // BenchmarkFastFamily runs the §5 pipelined-family study.
 func BenchmarkFastFamily(b *testing.B) {
 	out := runExperiment(b, "fastfamily")

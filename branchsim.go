@@ -132,6 +132,15 @@ type BranchSource = trace.BranchSource
 // BatchLen is the recommended NextBranches batch length.
 const BatchLen = trace.BatchLen
 
+// InstSource batch-serves a stream's instructions — the timing simulator's
+// fast-path protocol. Replay cursors implement it straight from the
+// recording's columnar storage; RunTiming detects it and switches to a
+// batched inner loop with bit-identical results.
+type InstSource = trace.InstSource
+
+// InstBatchLen is the recommended NextInsts batch length.
+const InstBatchLen = trace.InstBatchLen
+
 // Recording is a materialized instruction stream: record a workload once,
 // replay it across a whole experiment grid. Replay is bit-identical to live
 // generation. Recording implements io.WriterTo (the deterministic
@@ -200,6 +209,53 @@ type TimingResult = pipeline.Result
 func RunTiming(cfg MachineConfig, p Predictor, g Generator, maxInsts, warmupInsts int64) TimingResult {
 	return pipeline.New(cfg, p).Run(g, maxInsts, warmupInsts)
 }
+
+// MemSidecar is a precomputed memory-hierarchy outcome column for one
+// (recording, cache geometry) pair. In trace-driven no-wrong-path timing
+// the L1I/L1D/L2 access sequence is predictor-independent, so it can be
+// simulated once per recording and shared by every predictor evaluated on
+// it.
+type MemSidecar = pipeline.MemSidecar
+
+// NewMemSidecar simulates rec's cache-hierarchy accesses once under cfg's
+// cache geometry and returns the per-instruction outcomes for RunTimingFast.
+func NewMemSidecar(rec *Recording, cfg MachineConfig) *MemSidecar {
+	return pipeline.BuildMemSidecar(rec, pipeline.MemGeometryOf(cfg))
+}
+
+// RunTimingFast replays a recording through the pipeline model with the
+// sidecar's precomputed memory latencies, bit-identical to RunTiming over
+// rec.Replay() but without re-simulating the cache hierarchy. The sidecar
+// must come from NewMemSidecar(rec, cfg); one that does not cover the run
+// is ignored and the live hierarchy is simulated instead.
+func RunTimingFast(cfg MachineConfig, p Predictor, rec *Recording, side *MemSidecar, maxInsts, warmupInsts int64) TimingResult {
+	sim := pipeline.New(cfg, p)
+	sim.SetMemSidecar(side)
+	return sim.Run(rec.Replay(), maxInsts, warmupInsts)
+}
+
+// TimingMode selects the predictor organization for timing cells: Ideal
+// gives every predictor a single-cycle response; Realistic puts complex
+// predictors behind a 2K-entry quick gshare in the overriding organization.
+type TimingMode = experiments.TimingMode
+
+// Timing modes.
+const (
+	Ideal     = experiments.Ideal
+	Realistic = experiments.Realistic
+)
+
+// TimingMemo memoizes timing Results by canonical cell key — (kind,
+// organization, budget, benchmark, measurement window, machine) — so cells
+// duplicated across experiment grids are simulated once. The experiment
+// registry runs every figure and ablation through a process-wide memo;
+// NewTimingMemo gives a custom grid its own.
+type TimingMemo = experiments.TimingMemo
+
+// NewTimingMemo returns an empty timing memo. Its Cell method is the
+// memoized grid-cell primitive: recorded stream and memory sidecar from the
+// process-wide trace store, batched replay, Result cached in the memo.
+func NewTimingMemo() *TimingMemo { return experiments.NewTimingMemo() }
 
 // ExperimentOptions configures experiment runs.
 type ExperimentOptions = experiments.Options

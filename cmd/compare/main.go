@@ -15,16 +15,25 @@ import (
 	"fmt"
 	"os"
 
+	"branchsim/internal/prof"
 	"branchsim/internal/results"
 )
 
 func main() {
 	tolerance := flag.Float64("tolerance", 0.05, "relative change to flag")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this path")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: compare [-tolerance f] old.json new.json")
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 	old, err := results.Load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

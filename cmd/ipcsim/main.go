@@ -24,6 +24,7 @@ import (
 	"branchsim/internal/experiments"
 	"branchsim/internal/pipeline"
 	"branchsim/internal/predictor"
+	"branchsim/internal/prof"
 	"branchsim/internal/stats"
 	"branchsim/internal/trace"
 	"branchsim/internal/tracestore"
@@ -38,8 +39,17 @@ func main() {
 		insts      = flag.Int64("insts", workload.DefaultInstructions, "dynamic instructions per benchmark")
 		warmup     = flag.Int64("warmup", 0, "warm-up instructions excluded from statistics")
 		mode       = flag.String("mode", "realistic", "predictor timing: ideal or realistic")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this path")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	profiles, err := selectProfiles(*benchmarks)
 	if err != nil {
@@ -48,7 +58,9 @@ func main() {
 	}
 
 	// Streams are recorded once per benchmark and replayed for every
-	// predictor kind (see internal/tracestore).
+	// predictor kind, and the memory hierarchy is simulated once per
+	// benchmark via the store's sidecars (see internal/tracestore).
+	cfg := pipeline.DefaultConfig()
 	store := tracestore.New()
 	for _, kind := range strings.Split(*predictors, ",") {
 		kind = strings.TrimSpace(kind)
@@ -63,10 +75,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			src := store.Source(
-				tracestore.Key{Name: prof.Name, Seed: prof.Seed, Insts: *insts},
-				func() trace.Source { return workload.New(prof) })
-			sim := pipeline.New(pipeline.DefaultConfig(), p)
+			key := tracestore.Key{Name: prof.Name, Seed: prof.Seed, Insts: *insts}
+			gen := func() trace.Source { return workload.New(prof) }
+			src := store.Source(key, gen)
+			sim := pipeline.New(cfg, p)
+			sim.SetMemSidecar(store.MemSidecar(key, pipeline.MemGeometryOf(cfg), gen))
 			res := sim.Run(src, *insts, *warmup)
 			ipcs = append(ipcs, res.IPC())
 			extra := ""

@@ -79,6 +79,12 @@ func main() {
 		n, bytes := experiments.TraceStoreStats()
 		fmt.Fprintf(os.Stderr, "(trace store: %d recordings, %.1f MB; streams generated once, replayed per grid cell)\n",
 			n, float64(bytes)/(1<<20))
+		sn, sbytes := experiments.SidecarStats()
+		fmt.Fprintf(os.Stderr, "(mem sidecars: %d columns, %.1f MB; cache hierarchy simulated once per recording+geometry)\n",
+			sn, float64(sbytes)/(1<<20))
+		cells, hits := experiments.TimingMemoStats()
+		fmt.Fprintf(os.Stderr, "(timing memo: %d distinct cells simulated, %d duplicate cells served from memory)\n",
+			cells, hits)
 	}
 	if *jsonPath != "" {
 		if err := file.Save(*jsonPath); err != nil {

@@ -114,11 +114,13 @@ func TestDeterminism(t *testing.T) { testAnalyzer(t, Determinism, "branchsim/int
 // record/replay layer: recordings are memoized by (profile, seed, budget)
 // and substituted for live generation across the whole experiment grid, so
 // internal/trace and internal/tracestore must stay inside the determinism
-// gate — and so must internal/funcsim, whose batched branch fast path now
-// carries the accuracy grids. The bad fixture is mounted at both real import paths and must keep
-// producing findings there. A private loader keeps these synthetic packages
-// out of the shared cache, where they would shadow the real ones for the
-// self-host test.
+// gate — and so must internal/funcsim, whose batched branch fast path
+// carries the accuracy grids, and internal/pipeline and
+// internal/experiments, whose batched/sidecar/memoized timing fast path
+// carries the IPC grids. The bad fixture is mounted at each real import
+// path and must keep producing findings there. A private loader keeps
+// these synthetic packages out of the shared cache, where they would
+// shadow the real ones for the self-host test.
 func TestDeterminismCoversTraceRecording(t *testing.T) {
 	loader, err := NewLoader(".")
 	if err != nil {
@@ -128,6 +130,8 @@ func TestDeterminismCoversTraceRecording(t *testing.T) {
 		"branchsim/internal/trace",
 		"branchsim/internal/tracestore",
 		"branchsim/internal/funcsim",
+		"branchsim/internal/pipeline",
+		"branchsim/internal/experiments",
 	} {
 		t.Run(importPath, func(t *testing.T) {
 			dir := filepath.Join("testdata", "determinism", "bad")

@@ -43,10 +43,18 @@ func DelayedUpdate(opts Options) *Outcome {
 		ipc[i] = make([]float64, 1)
 	}
 	forEach(len(lags), opts.Parallel, func(i int) {
+		// lag=0 constructs the stock gshare.fast, so its timing cell is
+		// the canonical "ideal" one (shared with Figures 2/7 at this
+		// budget); lagged variants get their own memo organization.
+		org := "ideal"
+		if lags[i] > 0 {
+			org = fmt.Sprintf("lag%d", lags[i])
+		}
 		var rates, ipcs []float64
 		for _, prof := range profiles {
 			rates = append(rates, accuracyRun(func() predictor.Predictor { return makePred(lags[i]) }, prof, opts))
-			res := timingRun(func() predictor.Predictor { return makePred(lags[i]) }, prof, opts)
+			res := cellCustom(pipeline.DefaultConfig(), "gshare.fast", org, budget,
+				func() predictor.Predictor { return makePred(lags[i]) }, prof, opts)
 			ipcs = append(ipcs, res.IPC())
 		}
 		mr[i][0] = stats.Mean(rates)
@@ -98,9 +106,7 @@ func OverrideRate(opts Options) *Outcome {
 	}
 	forEach(len(jobs), opts.Parallel, func(n int) {
 		j := jobs[n]
-		res := timingRun(func() predictor.Predictor {
-			return buildTimed(kinds[j.ki], budget, Realistic)
-		}, profiles[j.pi], opts)
+		res := Cell(kinds[j.ki], budget, Realistic, profiles[j.pi], opts)
 		values[j.pi][j.ki] = 100 * res.OverrideRate
 	})
 	for ki := range kinds {
@@ -240,13 +246,21 @@ func QuickSizeSweep(opts Options) *Outcome {
 	profiles := workload.Profiles()
 	values := make([][]float64, len(sizes))
 	forEach(len(sizes), opts.Parallel, func(i int) {
+		// The QuickEntries row constructs exactly the standard
+		// overriding organization, so it shares the canonical
+		// "override" cells with the figures at this budget.
+		org := "override"
+		if sizes[i] != QuickEntries {
+			org = fmt.Sprintf("override.q%d", sizes[i])
+		}
 		var ipcs, overrides []float64
 		for _, prof := range profiles {
-			res := timingRun(func() predictor.Predictor {
-				slow := mustPredictor("perceptron", budget)
-				lat := delaymodel.Default.ForPredictor(slow)
-				return core.NewOverriding(predictor.NewGShare(sizes[i], 0), slow, lat)
-			}, prof, opts)
+			res := cellCustom(pipeline.DefaultConfig(), "perceptron", org, budget,
+				func() predictor.Predictor {
+					slow := mustPredictor("perceptron", budget)
+					lat := delaymodel.Default.ForPredictor(slow)
+					return core.NewOverriding(predictor.NewGShare(sizes[i], 0), slow, lat)
+				}, prof, opts)
 			ipcs = append(ipcs, res.IPC())
 			overrides = append(overrides, 100*res.OverrideRate)
 		}
@@ -286,12 +300,15 @@ func DepthSweep(opts Options) *Outcome {
 		cfg := pipeline.DefaultConfig()
 		cfg.PipelineDepth = depths[i]
 		cfg.FrontEndDepth = depths[i] / 2
+		// The depth-20 row's canonical config equals the Table 1
+		// machine's, so both of its columns are figure cells at this
+		// budget; other depths get distinct config keys.
 		var fast, over []float64
 		for _, prof := range profiles {
-			sim := pipeline.New(cfg, NewGShareFast(budget))
-			fast = append(fast, sim.Run(source(prof, opts), opts.Insts, opts.Warmup).IPC())
-			sim2 := pipeline.New(cfg, mustOverriding("perceptron", budget))
-			over = append(over, sim2.Run(source(prof, opts), opts.Insts, opts.Warmup).IPC())
+			fast = append(fast, cellCustom(cfg, "gshare.fast", "ideal", budget,
+				func() predictor.Predictor { return NewGShareFast(budget) }, prof, opts).IPC())
+			over = append(over, cellCustom(cfg, "perceptron", "override", budget,
+				func() predictor.Predictor { return mustOverriding("perceptron", budget) }, prof, opts).IPC())
 		}
 		values[i] = []float64{stats.HarmonicMean(fast), stats.HarmonicMean(over)}
 	})
@@ -327,16 +344,15 @@ func FastFamily(opts Options) *Outcome {
 	rows := []string{"gshare.fast", "bimode.fast", "perceptron(override)", "multicomponent(override)", "2bcgskew(override)"}
 	profiles := workload.Profiles()
 	values := make([][]float64, len(rows))
-	builders := []func() predictor.Predictor{
+	// Each row's timing cell is canonical: the pipelined predictors are
+	// exactly their factory ("ideal") organizations and the rest are the
+	// standard overriding ones, so all five columns share memo entries
+	// with the figures at this budget.
+	cellKinds := []string{"gshare.fast", "bimode.fast", "perceptron", "multicomponent", "2bcgskew"}
+	cellModes := []TimingMode{Ideal, Ideal, Realistic, Realistic, Realistic}
+	accBuilders := []func() predictor.Predictor{
 		func() predictor.Predictor { return NewGShareFast(budget) },
 		func() predictor.Predictor { return NewBiModeFast(budget) },
-		func() predictor.Predictor { return buildTimed("perceptron", budget, Realistic) },
-		func() predictor.Predictor { return buildTimed("multicomponent", budget, Realistic) },
-		func() predictor.Predictor { return buildTimed("2bcgskew", budget, Realistic) },
-	}
-	accBuilders := []func() predictor.Predictor{
-		builders[0],
-		builders[1],
 		func() predictor.Predictor { p, _ := NewPredictor("perceptron", budget); return p },
 		func() predictor.Predictor { p, _ := NewPredictor("multicomponent", budget); return p },
 		func() predictor.Predictor { p, _ := NewPredictor("2bcgskew", budget); return p },
@@ -345,7 +361,7 @@ func FastFamily(opts Options) *Outcome {
 		var rates, ipcs []float64
 		for _, prof := range profiles {
 			rates = append(rates, accuracyRun(accBuilders[i], prof, opts))
-			ipcs = append(ipcs, timingRun(builders[i], prof, opts).IPC())
+			ipcs = append(ipcs, Cell(cellKinds[i], budget, cellModes[i], prof, opts).IPC())
 		}
 		values[i] = []float64{stats.Mean(rates), stats.HarmonicMean(ipcs)}
 	})
@@ -376,14 +392,16 @@ func Recovery(opts Options) *Outcome {
 	profiles := workload.Profiles()
 	values := make([][]float64, len(budgets))
 	forEach(len(budgets), opts.Parallel, func(i int) {
+		// The checkpointed column is the stock gshare.fast — the same
+		// "ideal" cells the figures sweep — while the uncheckpointed
+		// wrapper is its own memo organization.
 		var with, without []float64
 		for _, prof := range profiles {
-			with = append(with, timingRun(func() predictor.Predictor {
-				return NewGShareFast(budgets[i])
-			}, prof, opts).IPC())
-			without = append(without, timingRun(func() predictor.Predictor {
-				return core.WithoutCheckpointing(NewGShareFast(budgets[i]))
-			}, prof, opts).IPC())
+			with = append(with, Cell("gshare.fast", budgets[i], Ideal, prof, opts).IPC())
+			without = append(without, cellCustom(pipeline.DefaultConfig(), "gshare.fast", "nockpt", budgets[i],
+				func() predictor.Predictor {
+					return core.WithoutCheckpointing(NewGShareFast(budgets[i]))
+				}, prof, opts).IPC())
 		}
 		values[i] = []float64{stats.HarmonicMean(with), stats.HarmonicMean(without)}
 	})

@@ -32,10 +32,24 @@ func source(prof workload.Profile, opts Options) trace.Source {
 	return traceStore.Source(key, func() trace.Source { return workload.New(prof) })
 }
 
+// sidecar returns the memoized memory-latency sidecar for prof's recording
+// under cfg's cache geometry (see pipeline.BuildMemSidecar).
+func sidecar(prof workload.Profile, opts Options, cfg pipeline.Config) *pipeline.MemSidecar {
+	key := tracestore.Key{Name: prof.Name, Seed: prof.Seed, Insts: opts.Insts}
+	return traceStore.MemSidecar(key, pipeline.MemGeometryOf(cfg),
+		func() trace.Source { return workload.New(prof) })
+}
+
 // TraceStoreStats reports the process-wide trace store's footprint:
 // memoized recordings and their total bytes.
 func TraceStoreStats() (recordings int, bytes int64) {
 	return traceStore.Len(), traceStore.SizeBytes()
+}
+
+// SidecarStats reports the process-wide store's memory-latency sidecars:
+// precomputed (recording, geometry) columns and their total bytes.
+func SidecarStats() (sidecars int, bytes int64) {
+	return traceStore.SidecarLen(), traceStore.SidecarSizeBytes()
 }
 
 // Options configures an experiment run.
@@ -165,7 +179,15 @@ func accuracyRun(build func() predictor.Predictor, prof workload.Profile, opts O
 // timingRun builds a fresh predictor organization and measures IPC (and the
 // full result) on prof's recorded stream under the Table 1 machine.
 func timingRun(build func() predictor.Predictor, prof workload.Profile, opts Options) pipeline.Result {
-	sim := pipeline.New(pipeline.DefaultConfig(), build())
+	return timingRunCfg(pipeline.DefaultConfig(), build, prof, opts)
+}
+
+// timingRunCfg is timingRun under an explicit machine config, with the
+// memoized memory-latency sidecar attached (the Sim falls back to live
+// caches whenever the sidecar does not cover the run exactly).
+func timingRunCfg(cfg pipeline.Config, build func() predictor.Predictor, prof workload.Profile, opts Options) pipeline.Result {
+	sim := pipeline.New(cfg, build())
+	sim.SetMemSidecar(sidecar(prof, opts, cfg))
 	return sim.Run(source(prof, opts), opts.Insts, opts.Warmup)
 }
 

@@ -52,9 +52,7 @@ func ipcSweep(kinds []string, budgets []int, mode TimingMode, opts Options) *tex
 		j := jobs[n]
 		ipcs := make([]float64, 0, len(profiles))
 		for _, prof := range profiles {
-			res := timingRun(func() predictor.Predictor {
-				return buildTimed(kinds[j.ki], budgets[j.bi], mode)
-			}, prof, opts)
+			res := Cell(kinds[j.ki], budgets[j.bi], mode, prof, opts)
 			ipcs = append(ipcs, res.IPC())
 		}
 		values[j.bi][j.ki] = stats.HarmonicMean(ipcs)
@@ -138,9 +136,7 @@ func Figure8(opts Options) *Outcome {
 	}
 	forEach(len(jobs), opts.Parallel, func(n int) {
 		j := jobs[n]
-		res := timingRun(func() predictor.Predictor {
-			return buildTimed(kinds[j.ki], budget, Realistic)
-		}, profiles[j.pi], opts)
+		res := Cell(kinds[j.ki], budget, Realistic, profiles[j.pi], opts)
 		values[j.pi][j.ki] = res.IPC()
 	})
 	for ki := range kinds {

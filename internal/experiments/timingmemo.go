@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"sync"
+
+	"branchsim/internal/pipeline"
+	"branchsim/internal/predictor"
+	"branchsim/internal/workload"
+)
+
+// timingKey canonically identifies one timing-simulation cell. Two cells
+// with equal keys construct byte-identical simulations — same machine, same
+// predictor organization, same recorded stream and measurement window — so
+// their Results are interchangeable. The org component disambiguates
+// organizations that share a kind and budget: "ideal" (bare predictor,
+// single-cycle idealization — also gshare.fast, whose organization is
+// mode-invariant), "override" (behind the 2K-entry quick gshare), and the
+// ablation variants ("override.q256", "lag64", "nockpt", ...).
+type timingKey struct {
+	kind   string
+	org    string
+	budget int
+	bench  string
+	seed   uint64
+	insts  int64
+	warmup int64
+	cfg    pipeline.Config
+}
+
+// timingEntry serializes one cell's computation: the first caller simulates
+// inside the once, duplicates (concurrent or later, across figures) wait
+// and share the Result.
+type timingEntry struct {
+	once sync.Once
+	res  pipeline.Result
+}
+
+// TimingMemo memoizes pipeline Results by canonical cell key, so cells
+// duplicated across experiment grids — Figure 7's ideal perceptron and
+// multi-component columns repeat Figure 2's; gshare.fast's ideal and
+// realistic cells are one organization; the ablations revisit figure cells
+// at their shared budgets — are simulated once per process.
+type TimingMemo struct {
+	mu      sync.Mutex
+	entries map[timingKey]*timingEntry
+	hits    int64
+}
+
+// NewTimingMemo returns an empty memo.
+func NewTimingMemo() *TimingMemo {
+	return &TimingMemo{entries: make(map[timingKey]*timingEntry)}
+}
+
+// timingMemo is the process-wide memo, sibling to traceStore.
+var timingMemo = NewTimingMemo()
+
+// TimingMemoStats reports the process-wide timing memo's footprint: distinct
+// cells simulated and duplicate lookups served from memory.
+func TimingMemoStats() (cells int, hits int64) {
+	timingMemo.mu.Lock()
+	defer timingMemo.mu.Unlock()
+	return len(timingMemo.entries), timingMemo.hits
+}
+
+// result returns the memoized Result for key, calling compute to simulate
+// it on first use.
+func (m *TimingMemo) result(key timingKey, compute func() pipeline.Result) pipeline.Result {
+	m.mu.Lock()
+	e := m.entries[key]
+	if e == nil {
+		e = &timingEntry{}
+		m.entries[key] = e
+	} else {
+		m.hits++
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.res = compute() })
+	return e.res
+}
+
+// Cell returns the timing Result for the canonical (kind, budget, mode)
+// organization on prof's recorded stream under the Table 1 machine,
+// memoized in m. It is the figure grids' cell primitive.
+func (m *TimingMemo) Cell(kind string, budget int, mode TimingMode, prof workload.Profile, opts Options) pipeline.Result {
+	org := "override"
+	if mode == Ideal || kind == "gshare.fast" {
+		// Mirrors buildTimed: these collapse to the bare predictor, so
+		// a kind's ideal and realistic cells share one entry when the
+		// organization is mode-invariant (gshare.fast, bimode.fast is
+		// not — it has no special case there).
+		org = "ideal"
+	}
+	return m.cellCustom(pipeline.DefaultConfig(), kind, org, budget, func() predictor.Predictor {
+		return buildTimed(kind, budget, mode)
+	}, prof, opts)
+}
+
+// Cell is (*TimingMemo).Cell on the process-wide memo — the form the
+// experiment grids use, so duplicate cells dedupe across figures.
+func Cell(kind string, budget int, mode TimingMode, prof workload.Profile, opts Options) pipeline.Result {
+	return timingMemo.Cell(kind, budget, mode, prof, opts)
+}
+
+// cellCustom is Cell for explicitly-constructed organizations (the
+// ablations' lagged, resized-quick, uncheckpointed and depth variants).
+// Callers must ensure that equal (cfg.Canonical, kind, org, budget) always
+// denotes an identical construction — the memo trades on that.
+func (m *TimingMemo) cellCustom(cfg pipeline.Config, kind, org string, budget int, build func() predictor.Predictor, prof workload.Profile, opts Options) pipeline.Result {
+	opts = opts.normalize()
+	key := timingKey{
+		kind:   kind,
+		org:    org,
+		budget: budget,
+		bench:  prof.Name,
+		seed:   prof.Seed,
+		insts:  opts.Insts,
+		warmup: opts.Warmup,
+		cfg:    cfg.Canonical(),
+	}
+	return m.result(key, func() pipeline.Result {
+		return timingRunCfg(cfg, build, prof, opts)
+	})
+}
+
+// cellCustom delegates to the process-wide memo.
+func cellCustom(cfg pipeline.Config, kind, org string, budget int, build func() predictor.Predictor, prof workload.Profile, opts Options) pipeline.Result {
+	return timingMemo.cellCustom(cfg, kind, org, budget, build, prof, opts)
+}

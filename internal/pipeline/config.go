@@ -97,3 +97,11 @@ func (c Config) frontEndDepth() int {
 	}
 	return c.PipelineDepth / 2
 }
+
+// Canonical returns the config with derived defaults resolved, so two
+// configs describing the same machine compare equal. Config is comparable;
+// the canonical form is the timing-result memo's config key component.
+func (c Config) Canonical() Config {
+	c.FrontEndDepth = c.frontEndDepth()
+	return c
+}

@@ -59,9 +59,24 @@ func (s *Sim) result(warmupInsts int64) Result {
 		L2MissRate:       s.l2.MissRate(),
 		FetchStallCycles: s.fetchStall,
 	}
+	if s.sideActive {
+		// The sidecar path tallied accesses and misses instead of
+		// simulating the caches; same ratios, same zero-total rule.
+		r.L1IMissRate = missRate(s.sideL1IMiss, s.sideL1IAcc)
+		r.L1DMissRate = missRate(s.sideL1DMiss, s.sideL1DAcc)
+		r.L2MissRate = missRate(s.sideL2Miss, s.sideL2Acc)
+	}
 	if s.over != nil {
 		r.Overrides = s.overrides.Events
 		r.OverrideRate = s.overrides.Value()
 	}
 	return r
+}
+
+// missRate mirrors cache.Cache.MissRate's formula for the sidecar tallies.
+func missRate(misses, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(misses) / float64(total)
 }

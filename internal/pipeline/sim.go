@@ -34,6 +34,17 @@ type Sim struct {
 	l2     *cache.Cache
 	btb    *btb.BTB
 
+	// Memory-latency sidecar (SetMemSidecar). When active, the
+	// precomputed per-instruction access classes replace the live
+	// L1I/L1D/L2 simulation; the counters below reproduce the live
+	// caches' access/miss tallies so Result's miss rates are identical.
+	side                    *MemSidecar
+	sideActive              bool
+	sideIdx                 int64
+	sideL1IAcc, sideL1IMiss uint64
+	sideL1DAcc, sideL1DMiss uint64
+	sideL2Acc, sideL2Miss   uint64
+
 	// Scoreboard state.
 	regReady   [trace.NumRegs]uint64
 	commitRing []uint64 // commit cycle of the i-th most recent instructions (ROB window)
@@ -147,6 +158,12 @@ func New(cfg Config, pred predictor.Predictor) *Sim {
 // Predictor returns the predictor organization under test.
 func (s *Sim) Predictor() predictor.Predictor { return s.pred }
 
+// SetMemSidecar attaches a precomputed memory-latency sidecar. It is used
+// on a subsequent Run only when it covers that run exactly — same recording
+// replayed from the start under the same cache geometry (see
+// MemSidecar.covers); otherwise the live hierarchy is simulated as before.
+func (s *Sim) SetMemSidecar(side *MemSidecar) { s.side = side }
+
 // icacheLatency returns the fetch stall for the block containing pc,
 // allocating through the hierarchy.
 func (s *Sim) icacheLatency(pc uint64) uint64 {
@@ -170,6 +187,66 @@ func (s *Sim) dcacheLatency(addr uint64) uint64 {
 	return uint64(s.cfg.MemLatency)
 }
 
+// fetchLatency is icacheLatency with the sidecar consulted first. It is
+// called only when the current instruction starts a fetch-block access:
+// either a genuinely new block (the sidecar recorded its outcome) or a
+// redirect-induced re-touch of the previous block (class sideFetchNone — a
+// guaranteed hit on the still-resident MRU line, see BuildMemSidecar).
+func (s *Sim) fetchLatency(pc uint64) uint64 {
+	if !s.sideActive {
+		return s.icacheLatency(pc)
+	}
+	s.sideL1IAcc++
+	switch s.side.class[s.sideIdx] & sideFetchMask {
+	case sideFetchNone, sideFetchL1 << sideFetchShift:
+		return 0
+	case sideFetchL2 << sideFetchShift:
+		s.sideL1IMiss++
+		s.sideL2Acc++
+		return uint64(s.cfg.L2Latency)
+	default: // sideFetchMem
+		s.sideL1IMiss++
+		s.sideL2Acc++
+		s.sideL2Miss++
+		return uint64(s.cfg.MemLatency)
+	}
+}
+
+// loadLatency is dcacheLatency with the sidecar consulted first.
+func (s *Sim) loadLatency(addr uint64) uint64 {
+	if !s.sideActive {
+		return s.dcacheLatency(addr)
+	}
+	s.sideL1DAcc++
+	switch s.side.class[s.sideIdx] & sideMemMask {
+	case sideMemL1 << sideMemShift:
+		return uint64(s.cfg.L1DLatency)
+	case sideMemL2 << sideMemShift:
+		s.sideL1DMiss++
+		s.sideL2Acc++
+		return uint64(s.cfg.L2Latency)
+	default: // sideMemMem
+		s.sideL1DMiss++
+		s.sideL2Acc++
+		s.sideL2Miss++
+		return uint64(s.cfg.MemLatency)
+	}
+}
+
+// storeAccess allocates a store's line in the D-cache (live path) or tallies
+// the precomputed outcome (sidecar path). Stores never access the L2 in this
+// model — they retire from the store queue — so a store miss only allocates.
+func (s *Sim) storeAccess(addr uint64) {
+	if !s.sideActive {
+		s.dcache.Access(addr)
+		return
+	}
+	s.sideL1DAcc++
+	if s.side.class[s.sideIdx]&sideMemMask == sideMemMem<<sideMemShift {
+		s.sideL1DMiss++
+	}
+}
+
 // advanceFetch moves the fetch point to at least cycle t, accounting the
 // skipped cycles as fetch stall.
 func (s *Sim) advanceFetch(t uint64) {
@@ -188,173 +265,252 @@ func (s *Sim) breakFetch() {
 	s.lastFetchBlock = 0
 }
 
+// runState is the per-Run loop context shared by the three drive loops:
+// the budget and warm-up boundaries, the derived fetch constants, and the
+// commit cycle observed at the warm-up boundary.
+type runState struct {
+	maxInsts    int64
+	warmupInsts int64
+	feDepth     uint64
+	blockMask   uint64
+	warmupCycle uint64
+}
+
 // Run replays up to maxInsts instructions from src (a live generator or a
 // recorded trace cursor), with the first
 // warmupInsts excluded from the reported statistics (caches, predictors and
 // scoreboard state still train). It returns the result summary.
+//
+// Sources implementing trace.InstSource — replay cursors reconstructing
+// whole batches from the recording's struct-of-arrays chunks — are driven
+// through a batched inner loop instead of one virtual Next call per
+// instruction; with a matching memory-latency sidecar (SetMemSidecar) the
+// precomputed per-instruction cache outcomes replace the live L1I/L1D/L2
+// simulation as well. Every fast-path layer is bit-identical to the plain
+// loop (TestTimingFastPathEquivalence).
 func (s *Sim) Run(src trace.Source, maxInsts, warmupInsts int64) Result {
 	s.warmupInsts = warmupInsts
-	var (
-		inst        trace.Inst
-		warmupCycle uint64
-	)
-	feDepth := uint64(s.cfg.frontEndDepth())
-	blockMask := ^uint64(int64(s.cfg.L1I.LineBytes) - 1)
-
-	for s.insts < maxInsts && src.Next(&inst) {
-		if s.insts == warmupInsts {
-			warmupCycle = s.lastCommit
-		}
-		s.insts++
-
-		// --- Fetch ---
-		if s.fetchUsed >= s.cfg.FetchWidth {
-			s.breakFetch()
-		}
-		block := inst.PC&blockMask + 1
-		if block != s.lastFetchBlock {
-			if s.lastFetchBlock != 0 {
-				// Crossing into a new block mid-cycle: fetch
-				// continues next cycle.
-				s.breakFetch()
-				block = inst.PC&blockMask + 1
-			}
-			if lat := s.icacheLatency(inst.PC); lat > 0 {
-				s.advanceFetch(s.fetchCycle + lat)
-			}
-			s.lastFetchBlock = block
-		}
-		fetchAt := s.fetchCycle
-		s.fetchUsed++
-
-		// Keep fetch from running unboundedly ahead of commit: the
-		// ROB bounds instructions in flight.
-		oldestCommit := s.commitRing[s.robIdx]
-		dispatchAt := fetchAt + feDepth
-		if dispatchAt <= oldestCommit {
-			// Structural stall: fetch (and the whole front end)
-			// backs up until the ROB drains.
-			if oldestCommit+1 > feDepth {
-				s.advanceFetch(oldestCommit + 1 - feDepth)
-			}
-			fetchAt = s.fetchCycle
-			dispatchAt = fetchAt + feDepth
-		}
-
-		// --- Branch prediction at fetch ---
-		var predictedTaken bool
-		isBranch := inst.Kind == trace.CondBranch
-		if isBranch {
-			if s.cycleAware != nil {
-				s.cycleAware.OnCycle(fetchAt)
-			}
-			predictedTaken = s.pred.Predict(inst.PC)
-			s.pred.Update(inst.PC, inst.Taken)
-			if s.over != nil {
-				if overrode, bubble := s.over.LastOverrode(); overrode {
-					// The slow predictor rejected the quick
-					// prediction: instructions fetched behind
-					// this branch are squashed and fetch
-					// restarts after the bubble.
-					s.overrides.Add(true)
-					s.advanceFetch(fetchAt + 1 + uint64(bubble))
-				} else {
-					s.overrides.Add(false)
-				}
-			}
-		}
-
-		// Taken control flow: BTB provides the target for predicted-
-		// taken branches; jumps resolve in decode at the latest.
-		if (isBranch && predictedTaken && inst.Taken) || inst.Kind == trace.Jump {
-			_, hit := s.btb.Lookup(inst.PC)
-			if !hit {
-				s.btbMisses.Add(true)
-				s.advanceFetch(fetchAt + 1 + uint64(s.cfg.BTBMissPenalty))
-			} else {
-				s.btbMisses.Add(false)
-				s.breakFetch() // taken-branch fetch break
-			}
-			s.btb.Insert(inst.PC, inst.Target)
-		}
-
-		// --- Issue ---
-		ready := dispatchAt
-		if inst.Src1 >= 0 {
-			if t := s.regReady[inst.Src1]; t > ready {
-				ready = t
-			}
-		}
-		if inst.Src2 >= 0 {
-			if t := s.regReady[inst.Src2]; t > ready {
-				ready = t
-			}
-		}
-		var port *slotRing
-		var execLat uint64
-		switch inst.Kind {
-		case trace.Load:
-			port, execLat = &s.memRing, s.dcacheLatency(inst.Addr)
-		case trace.Store:
-			port, execLat = &s.memRing, 1
-			// Stores retire from the store queue; the D-cache
-			// line is still allocated for subsequent loads.
-			s.dcache.Access(inst.Addr)
-		case trace.Mul:
-			port, execLat = &s.mulRing, uint64(s.cfg.MulLatency)
-		case trace.FPU:
-			port, execLat = &s.fpRing, uint64(s.cfg.FPLatency)
-		default: // ALU, CondBranch, Jump
-			port, execLat = &s.intRing, 1
-		}
-		issueAt := ready
-		for {
-			t := s.issueRing.peekFree(issueAt)
-			t = port.peekFree(t)
-			if t == issueAt {
-				break
-			}
-			issueAt = t
-		}
-		s.issueRing.take(issueAt)
-		port.take(issueAt)
-		completeAt := issueAt + execLat
-
-		if inst.Dst >= 0 {
-			s.regReady[inst.Dst] = completeAt
-		}
-
-		// --- Branch resolution ---
-		if isBranch {
-			miss := predictedTaken != inst.Taken
-			s.branches.Add(miss)
-			if s.insts > warmupInsts {
-				s.measBranches.Add(miss)
-			}
-			if miss {
-				// Redirect: correct-path fetch resumes once the
-				// branch resolves and the front end refills —
-				// plus any organization-specific recovery cost
-				// (e.g. an uncheckpointed PHT buffer refill).
-				s.advanceFetch(completeAt + 1 + uint64(s.recovery))
-			}
-		}
-
-		// --- Commit ---
-		commitAt := completeAt + 1
-		if commitAt < s.lastCommit {
-			commitAt = s.lastCommit // in-order commit
-		}
-		commitAt = s.commitRing2.take(commitAt)
-		if commitAt > s.lastCommit {
-			s.lastCommit = commitAt
-		}
-		s.commitRing[s.robIdx] = commitAt
-		s.robIdx = (s.robIdx + 1) % s.cfg.ROBSize
+	rs := runState{
+		maxInsts:    maxInsts,
+		warmupInsts: warmupInsts,
+		feDepth:     uint64(s.cfg.frontEndDepth()),
+		blockMask:   ^uint64(int64(s.cfg.L1I.LineBytes) - 1),
 	}
-
-	s.cycles = s.lastCommit - warmupCycle
+	s.sideActive = false
+	s.sideIdx = 0
+	if cur, ok := src.(*trace.Cursor); ok {
+		// Devirtualizing the dominant concrete type keeps the batch on
+		// the driver's stack (the interface call in runInstSource makes
+		// it escape), which the zero-allocation guarantee rests on. The
+		// sidecar is only trusted for a cursor, whose stream identity
+		// and position are checkable.
+		s.sideActive = s.side != nil && s.side.covers(s.cfg, cur)
+		s.runCursor(cur, &rs)
+	} else if is, ok := src.(trace.InstSource); ok {
+		s.runInstSource(is, &rs)
+	} else {
+		var inst trace.Inst
+		for s.insts < rs.maxInsts && src.Next(&inst) {
+			s.step(&inst, &rs)
+		}
+	}
+	s.cycles = s.lastCommit - rs.warmupCycle
 	r := s.result(warmupInsts)
 	r.Workload = src.Name()
 	return r
+}
+
+// runCursor is the batched loop specialized to the concrete replay cursor
+// so the batch array does not escape to the heap (see Run).
+func (s *Sim) runCursor(cur *trace.Cursor, rs *runState) {
+	var batch [trace.InstBatchLen]trace.Inst
+	for s.insts < rs.maxInsts {
+		lim := len(batch)
+		if want := rs.maxInsts - s.insts; int64(lim) > want {
+			lim = int(want)
+		}
+		n := cur.NextInsts(batch[:lim])
+		if n == 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			s.step(&batch[i], rs)
+		}
+	}
+}
+
+// runInstSource is the batched loop over any InstSource.
+func (s *Sim) runInstSource(is trace.InstSource, rs *runState) {
+	batch := make([]trace.Inst, trace.InstBatchLen)
+	for s.insts < rs.maxInsts {
+		lim := len(batch)
+		if want := rs.maxInsts - s.insts; int64(lim) > want {
+			lim = int(want)
+		}
+		n := is.NextInsts(batch[:lim])
+		if n == 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			s.step(&batch[i], rs)
+		}
+	}
+}
+
+// step advances the scoreboard by one instruction — the loop body shared by
+// the instruction-at-a-time and batched drive loops, so the fast paths are
+// equivalent by construction and only the stream delivery (and, with a
+// sidecar, the memory-latency source) differs.
+func (s *Sim) step(inst *trace.Inst, rs *runState) {
+	if s.insts == rs.warmupInsts {
+		rs.warmupCycle = s.lastCommit
+	}
+	s.insts++
+
+	// --- Fetch ---
+	if s.fetchUsed >= s.cfg.FetchWidth {
+		s.breakFetch()
+	}
+	block := inst.PC&rs.blockMask + 1
+	if block != s.lastFetchBlock {
+		if s.lastFetchBlock != 0 {
+			// Crossing into a new block mid-cycle: fetch continues
+			// next cycle. block depends only on inst.PC, so it
+			// needs no recomputation after the fetch break.
+			s.breakFetch()
+		}
+		if lat := s.fetchLatency(inst.PC); lat > 0 {
+			s.advanceFetch(s.fetchCycle + lat)
+		}
+		s.lastFetchBlock = block
+	}
+	fetchAt := s.fetchCycle
+	s.fetchUsed++
+
+	// Keep fetch from running unboundedly ahead of commit: the
+	// ROB bounds instructions in flight.
+	oldestCommit := s.commitRing[s.robIdx]
+	dispatchAt := fetchAt + rs.feDepth
+	if dispatchAt <= oldestCommit {
+		// Structural stall: fetch (and the whole front end)
+		// backs up until the ROB drains.
+		if oldestCommit+1 > rs.feDepth {
+			s.advanceFetch(oldestCommit + 1 - rs.feDepth)
+		}
+		fetchAt = s.fetchCycle
+		dispatchAt = fetchAt + rs.feDepth
+	}
+
+	// --- Branch prediction at fetch ---
+	var predictedTaken bool
+	isBranch := inst.Kind == trace.CondBranch
+	if isBranch {
+		if s.cycleAware != nil {
+			s.cycleAware.OnCycle(fetchAt)
+		}
+		predictedTaken = s.pred.Predict(inst.PC)
+		s.pred.Update(inst.PC, inst.Taken)
+		if s.over != nil {
+			if overrode, bubble := s.over.LastOverrode(); overrode {
+				// The slow predictor rejected the quick
+				// prediction: instructions fetched behind
+				// this branch are squashed and fetch
+				// restarts after the bubble.
+				s.overrides.Add(true)
+				s.advanceFetch(fetchAt + 1 + uint64(bubble))
+			} else {
+				s.overrides.Add(false)
+			}
+		}
+	}
+
+	// Taken control flow: BTB provides the target for predicted-
+	// taken branches; jumps resolve in decode at the latest.
+	if (isBranch && predictedTaken && inst.Taken) || inst.Kind == trace.Jump {
+		_, hit := s.btb.Lookup(inst.PC)
+		if !hit {
+			s.btbMisses.Add(true)
+			s.advanceFetch(fetchAt + 1 + uint64(s.cfg.BTBMissPenalty))
+		} else {
+			s.btbMisses.Add(false)
+			s.breakFetch() // taken-branch fetch break
+		}
+		s.btb.Insert(inst.PC, inst.Target)
+	}
+
+	// --- Issue ---
+	ready := dispatchAt
+	if inst.Src1 >= 0 {
+		if t := s.regReady[inst.Src1]; t > ready {
+			ready = t
+		}
+	}
+	if inst.Src2 >= 0 {
+		if t := s.regReady[inst.Src2]; t > ready {
+			ready = t
+		}
+	}
+	var port *slotRing
+	var execLat uint64
+	switch inst.Kind {
+	case trace.Load:
+		port, execLat = &s.memRing, s.loadLatency(inst.Addr)
+	case trace.Store:
+		port, execLat = &s.memRing, 1
+		// Stores retire from the store queue; the D-cache
+		// line is still allocated for subsequent loads.
+		s.storeAccess(inst.Addr)
+	case trace.Mul:
+		port, execLat = &s.mulRing, uint64(s.cfg.MulLatency)
+	case trace.FPU:
+		port, execLat = &s.fpRing, uint64(s.cfg.FPLatency)
+	default: // ALU, CondBranch, Jump
+		port, execLat = &s.intRing, 1
+	}
+	issueAt := ready
+	for {
+		t := s.issueRing.peekFree(issueAt)
+		t = port.peekFree(t)
+		if t == issueAt {
+			break
+		}
+		issueAt = t
+	}
+	s.issueRing.take(issueAt)
+	port.take(issueAt)
+	completeAt := issueAt + execLat
+
+	if inst.Dst >= 0 {
+		s.regReady[inst.Dst] = completeAt
+	}
+
+	// --- Branch resolution ---
+	if isBranch {
+		miss := predictedTaken != inst.Taken
+		s.branches.Add(miss)
+		if s.insts > rs.warmupInsts {
+			s.measBranches.Add(miss)
+		}
+		if miss {
+			// Redirect: correct-path fetch resumes once the
+			// branch resolves and the front end refills —
+			// plus any organization-specific recovery cost
+			// (e.g. an uncheckpointed PHT buffer refill).
+			s.advanceFetch(completeAt + 1 + uint64(s.recovery))
+		}
+	}
+
+	// --- Commit ---
+	commitAt := completeAt + 1
+	if commitAt < s.lastCommit {
+		commitAt = s.lastCommit // in-order commit
+	}
+	commitAt = s.commitRing2.take(commitAt)
+	if commitAt > s.lastCommit {
+		s.lastCommit = commitAt
+	}
+	s.commitRing[s.robIdx] = commitAt
+	s.robIdx = (s.robIdx + 1) % s.cfg.ROBSize
+
+	s.sideIdx++
 }

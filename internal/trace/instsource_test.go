@@ -1,0 +1,142 @@
+package trace
+
+import "testing"
+
+// drainInsts collects the whole stream of an InstSource using the given
+// batch size.
+func drainInsts(is InstSource, batchLen int) []Inst {
+	var out []Inst
+	batch := make([]Inst, batchLen)
+	for {
+		n := is.NextInsts(batch)
+		if n == 0 {
+			return out
+		}
+		out = append(out, batch[:n]...)
+	}
+}
+
+func TestNextInstsMatchesStream(t *testing.T) {
+	// Cross two chunk boundaries so the segment arithmetic and the sparse
+	// addr/target column positions are exercised across chunk handoff.
+	const n = 2*chunkLen + 321
+	want := drain(&lcgSource{state: 11, n: n}, n)
+	rec := Record(&lcgSource{state: 11, n: n}, n)
+	// Batch sizes around and away from the chunk granularity: a ragged
+	// size, a single-instruction size, and the recommended one.
+	for _, batchLen := range []int{1, 7, InstBatchLen} {
+		cur := rec.Replay()
+		got := drainInsts(cur, batchLen)
+		if len(got) != len(want) {
+			t.Fatalf("batch %d: %d insts, want %d", batchLen, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d: inst %d = %+v, want %+v", batchLen, i, got[i], want[i])
+			}
+		}
+		if cur.Pos() != n {
+			t.Fatalf("batch %d: Pos = %d after exhaustion, want %d", batchLen, cur.Pos(), n)
+		}
+	}
+}
+
+func TestNextInstsInterleavesWithNext(t *testing.T) {
+	// NextInsts shares the instruction protocol's position with Next, so
+	// alternating the two walks the stream exactly once.
+	const n = chunkLen + 500
+	want := drain(&lcgSource{state: 5, n: n}, n)
+	cur := Record(&lcgSource{state: 5, n: n}, n).Replay()
+	var got []Inst
+	var batch [33]Inst
+	for {
+		var inst Inst
+		if !cur.Next(&inst) {
+			break
+		}
+		got = append(got, inst)
+		k := cur.NextInsts(batch[:])
+		got = append(got, batch[:k]...)
+		if k == 0 {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("interleaved drain served %d insts, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("inst %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNextInstsProtocolMixPanics(t *testing.T) {
+	rec := Record(&lcgSource{state: 17, n: 2000}, 2000)
+
+	mustPanic := func(name string, f func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on protocol mix")
+				}
+			}()
+			f()
+		})
+	}
+	mustPanic("instbatch-then-branches", func() {
+		cur := rec.Replay()
+		var insts [8]Inst
+		cur.NextInsts(insts[:])
+		var batch [8]BranchRec
+		cur.NextBranches(batch[:])
+	})
+	mustPanic("branches-then-instbatch", func() {
+		cur := rec.Replay()
+		var batch [8]BranchRec
+		cur.NextBranches(batch[:])
+		var insts [8]Inst
+		cur.NextInsts(insts[:])
+	})
+}
+
+func TestNextInstsReset(t *testing.T) {
+	const n = chunkLen + 50
+	rec := Record(&lcgSource{state: 13, n: n}, n)
+	cur := rec.Replay()
+	first := append([]Inst(nil), drainInsts(cur, 31)...)
+	cur.Reset()
+	if cur.Pos() != 0 {
+		t.Fatalf("Pos = %d after Reset", cur.Pos())
+	}
+	second := drainInsts(cur, 31)
+	if len(first) != len(second) {
+		t.Fatalf("replay after Reset served %d insts, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("inst %d differs after Reset", i)
+		}
+	}
+}
+
+func TestNextInstsEmptyDst(t *testing.T) {
+	const n = 1000
+	rec := Record(&lcgSource{state: 3, n: n}, n)
+	cur := rec.Replay()
+	if k := cur.NextInsts(nil); k != 0 {
+		t.Fatalf("NextInsts(nil) = %d", k)
+	}
+	// An empty dst must not disturb the position: the full stream still
+	// replays.
+	if got := drainInsts(cur, InstBatchLen); int64(len(got)) != rec.Len() {
+		t.Fatalf("after empty dst: %d insts, want %d", len(got), rec.Len())
+	}
+}
+
+func TestCursorRecordingAccessor(t *testing.T) {
+	rec := Record(&lcgSource{state: 1, n: 100}, 100)
+	if got := rec.Replay().Recording(); got != rec {
+		t.Fatalf("Recording() = %p, want %p", got, rec)
+	}
+}

@@ -179,6 +179,75 @@ func (c *Cursor) Next(inst *Inst) bool {
 // Name implements Source.
 func (c *Cursor) Name() string { return c.rec.name }
 
+// NextInsts implements InstSource: it reconstructs the next len(dst)
+// instructions straight from the recording's struct-of-arrays chunks, one
+// chunk segment at a time, so consumers pay one call (and one set of bounds
+// checks on the hoisted columns) per batch instead of per instruction. It
+// shares the instruction protocol's position with Next — the two may be
+// interleaved — but, like Next, it must not be mixed with the branch
+// protocol on one cursor.
+func (c *Cursor) NextInsts(dst []Inst) int {
+	if c.br.scanned != 0 || c.br.bi != 0 || c.br.ci != 0 {
+		panic("trace: replay cursor used with both NextInsts and NextBranches")
+	}
+	n := 0
+	for n < len(dst) {
+		if c.ci >= len(c.rec.chunks) {
+			break
+		}
+		ch := &c.rec.chunks[c.ci]
+		if c.idx >= len(ch.meta) {
+			c.ci++
+			c.idx, c.addrI, c.targI = 0, 0, 0
+			continue
+		}
+		k := len(ch.meta) - c.idx
+		if k > len(dst)-n {
+			k = len(dst) - n
+		}
+		meta := ch.meta[c.idx : c.idx+k]
+		pc := ch.pc[c.idx : c.idx+k]
+		src1 := ch.src1[c.idx : c.idx+k]
+		src2 := ch.src2[c.idx : c.idx+k]
+		dstReg := ch.dst[c.idx : c.idx+k]
+		for j := 0; j < k; j++ {
+			m := meta[j]
+			out := &dst[n+j]
+			out.Kind = Kind(m & metaKindMask)
+			out.Taken = m&metaTaken != 0
+			out.PC = pc[j]
+			out.Src1 = src1[j]
+			out.Src2 = src2[j]
+			out.Dst = dstReg[j]
+			if m&metaHasAddr != 0 {
+				out.Addr = ch.addr[c.addrI]
+				c.addrI++
+			} else {
+				out.Addr = 0
+			}
+			if m&metaHasTarget != 0 {
+				out.Target = ch.target[c.targI]
+				c.targI++
+			} else {
+				out.Target = 0
+			}
+		}
+		c.idx += k
+		n += k
+	}
+	c.served += int64(n)
+	return n
+}
+
+// Recording returns the recording this cursor replays — consumers that
+// precompute per-recording side data (the timing simulator's memory-latency
+// sidecar) use it to verify the stream identity before trusting the data.
+func (c *Cursor) Recording() *Recording { return c.rec }
+
+// Pos returns the number of instructions served so far under the
+// instruction protocol (Next/NextInsts).
+func (c *Cursor) Pos() int64 { return c.served }
+
 // NextBranches implements BranchSource via the recording's branch index
 // (see BranchCursor). It must not be mixed with Next on one cursor.
 func (c *Cursor) NextBranches(dst []BranchRec) int {

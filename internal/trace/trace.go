@@ -97,6 +97,28 @@ type Source interface {
 // stream live; kept as an alias for the public API.
 type Generator = Source
 
+// InstSource is the instruction-batch fast-path protocol: a stream that can
+// fill whole batches of Inst records at once instead of reconstructing one
+// instruction per virtual call. Recording replay cursors implement it
+// straight from the recording's struct-of-arrays chunks; the timing
+// simulator (internal/pipeline) detects it and switches to a batched inner
+// loop with bit-identical results. Unlike BranchSource, InstSource shares
+// the Source protocol's position — Next and NextInsts may be interleaved on
+// one cursor — but neither may be mixed with the branch protocol.
+type InstSource interface {
+	Source
+	// NextInsts fills dst with the next instructions of the stream in
+	// order and returns how many were written; 0 means end of stream
+	// (and is only returned with an empty dst on a stream that has
+	// instructions left).
+	NextInsts(dst []Inst) int
+}
+
+// InstBatchLen is the recommended NextInsts batch length: large enough to
+// amortize the per-batch call, small enough that the batch stays resident
+// in L1 (256 instructions ≈ 10 KB).
+const InstBatchLen = 256
+
 // CountBranches drains up to maxInsts instructions from g and returns the
 // instruction and conditional-branch counts — a convenience for tests and
 // workload characterization. A BranchSource (a recording's replay cursor,

@@ -1,0 +1,83 @@
+package tracestore
+
+import (
+	"sync"
+
+	"branchsim/internal/pipeline"
+	"branchsim/internal/trace"
+)
+
+// sidecarKey identifies one memory-latency sidecar: a recorded stream plus
+// the cache geometry its outcomes were simulated under.
+type sidecarKey struct {
+	key  Key
+	geom pipeline.MemGeometry
+}
+
+// sidecarEntry serializes the build of one sidecar, like entry does for
+// recordings.
+type sidecarEntry struct {
+	once sync.Once
+	side *pipeline.MemSidecar
+}
+
+// MemSidecar returns the memoized memory-latency sidecar for key's
+// recording under geom, building it (and the recording itself, via gen, if
+// needed) on first use. Every timing cell replaying (key, geom) then shares
+// one hierarchy pass instead of simulating three caches per cell.
+func (s *Store) MemSidecar(key Key, geom pipeline.MemGeometry, gen func() trace.Source) *pipeline.MemSidecar {
+	sk := sidecarKey{key: key, geom: geom}
+	s.mu.Lock()
+	if s.sidecars == nil {
+		s.sidecars = make(map[sidecarKey]*sidecarEntry)
+	}
+	e := s.sidecars[sk]
+	if e == nil {
+		e = &sidecarEntry{}
+		s.sidecars[sk] = e
+	}
+	s.mu.Unlock()
+	var side *pipeline.MemSidecar
+	e.once.Do(func() {
+		rec := s.Recording(key, func() *trace.Recording {
+			return trace.Record(gen(), key.Insts)
+		})
+		side = pipeline.BuildMemSidecar(rec, geom)
+		s.mu.Lock()
+		e.side = side
+		s.mu.Unlock()
+	})
+	if side == nil {
+		s.mu.Lock()
+		side = e.side
+		s.mu.Unlock()
+	}
+	return side
+}
+
+// SidecarLen returns the number of memoized sidecars.
+func (s *Store) SidecarLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.sidecars {
+		if e.side != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SidecarSizeBytes returns the total footprint of the memoized sidecar
+// columns.
+func (s *Store) SidecarSizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, e := range s.sidecars {
+		if e.side != nil {
+			n += e.side.SizeBytes()
+		}
+	}
+	return n
+}

@@ -25,10 +25,12 @@ type Key struct {
 	Insts int64
 }
 
-// Store is a concurrency-safe memoizing cache of Recordings.
+// Store is a concurrency-safe memoizing cache of Recordings and their
+// derived memory-latency sidecars (sidecar.go).
 type Store struct {
-	mu      sync.Mutex
-	entries map[Key]*entry
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	sidecars map[sidecarKey]*sidecarEntry
 }
 
 // entry serializes the recording of one key: the first goroutine to arrive

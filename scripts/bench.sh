@@ -11,6 +11,12 @@
 #                           forced down the instruction-at-a-time path,
 #                           batch fill throughput, and the speedup against
 #                           the frozen pre-fast-path baseline.
+#   BENCH_timing.json       the timing-simulator fast path: one benchmark's
+#                           design-point grid column (19 cells, duplicates
+#                           included) through the batched+sidecar+memo path
+#                           vs the same cells simulated independently with
+#                           live caches, and the speedup against the frozen
+#                           pre-fast-path baseline.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 5x per sweep iteration)
 set -euo pipefail
@@ -24,6 +30,13 @@ benchtime=${1:-5x}
 # fast path's headline speedup does not drift as the files regenerate.
 pr2_baseline_ns=61348139
 
+# BenchmarkTimingSweepSlow as of the timing fast-path PR (every cell
+# simulated independently, instruction-at-a-time dispatch, live caches),
+# measured on the same machine. Frozen for the same reason: the headline
+# timing speedup is against the data path the fast path replaced, not
+# against whatever the slow twin measures after later refactors.
+timing_baseline_ns=247296679
+
 echo "==> go test -bench (trace layer + branch replay, benchtime=$benchtime)"
 raw=$(go test -run '^$' \
     -bench '^(BenchmarkGenerateStream|BenchmarkReplayStream)$' \
@@ -33,6 +46,9 @@ raw=$(go test -run '^$' \
         -benchtime 500000x . &&
     go test -run '^$' \
         -bench '^(BenchmarkAccuracySweepRegenerate|BenchmarkAccuracySweepReplay|BenchmarkAccuracySweepReplaySlowPath)$' \
+        -benchtime "$benchtime" . &&
+    go test -run '^$' \
+        -bench '^(BenchmarkTimingSweepFast|BenchmarkTimingSweepSlow)$' \
         -benchtime "$benchtime" .)
 echo "$raw"
 
@@ -47,7 +63,9 @@ fill=$(nsop BenchmarkBranchBatchFill)
 regen=$(nsop BenchmarkAccuracySweepRegenerate)
 replay=$(nsop BenchmarkAccuracySweepReplay)
 slowpath=$(nsop BenchmarkAccuracySweepReplaySlowPath)
-for v in "$gen" "$rep" "$fill" "$regen" "$replay" "$slowpath"; do
+tfast=$(nsop BenchmarkTimingSweepFast)
+tslow=$(nsop BenchmarkTimingSweepSlow)
+for v in "$gen" "$rep" "$fill" "$regen" "$replay" "$slowpath" "$tfast" "$tslow"; do
     if [ -z "$v" ]; then
         echo "bench.sh: missing benchmark result in output above" >&2
         exit 1
@@ -79,10 +97,23 @@ awk -v fast="$replay" -v slow="$slowpath" -v fill="$fill" -v base="$pr2_baseline
         printf "}\n"
     }' > BENCH_branchreplay.json
 
+awk -v fast="$tfast" -v slow="$tslow" -v base="$timing_baseline_ns" \
+    'BEGIN {
+        printf "{\n"
+        printf "  \"timing_sweep_fastpath_ns\": %.0f,\n", fast
+        printf "  \"timing_sweep_slowpath_ns\": %.0f,\n", slow
+        printf "  \"fastpath_vs_slowpath_speedup\": %.2f,\n", slow / fast
+        printf "  \"pr4_baseline_sweep_ns\": %.0f,\n", base
+        printf "  \"speedup_vs_pr4_baseline\": %.2f\n", base / fast
+        printf "}\n"
+    }' > BENCH_timing.json
+
 echo "==> wrote BENCH_trace.json"
 cat BENCH_trace.json
 echo "==> wrote BENCH_branchreplay.json"
 cat BENCH_branchreplay.json
+echo "==> wrote BENCH_timing.json"
+cat BENCH_timing.json
 
 gate() { # gate <num> <den> <min> <label>
     local ok
@@ -95,3 +126,5 @@ gate() { # gate <num> <den> <min> <label>
 gate "$regen" "$replay" 1.5 "accuracy-sweep speedup (regenerate vs replay) below 1.5x"
 gate "$slowpath" "$replay" 2.0 "branch fast path below 2x over the instruction-at-a-time sweep"
 gate "$pr2_baseline_ns" "$replay" 3.0 "branch fast path below 3x over the frozen PR 2 sweep baseline"
+gate "$tslow" "$tfast" 2.0 "timing fast path below 2x over the independent-cell live-cache sweep"
+gate "$timing_baseline_ns" "$tfast" 2.0 "timing fast path below 2x over the frozen pre-fast-path timing baseline"

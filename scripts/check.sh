@@ -29,8 +29,14 @@ echo "==> branch fast-path equivalence (batched vs instruction-at-a-time, race-e
 go test -race -run 'TestFastPathEquivalence' ./internal/funcsim
 go test -race -run 'TestBranchIndexMatchesStream|TestCodecPreservesBranchIndex|TestConcurrentBranchCursors' ./internal/trace
 
-echo "==> batched-loop allocation bound (no race: alloc counts need a plain build)"
+echo "==> timing fast-path equivalence (batched/sidecar/memo vs instruction-at-a-time live-cache, race-enabled)"
+go test -race -run 'TestTimingFastPathEquivalence|TestSidecarFallback|TestSlotRingWraparound' ./internal/pipeline
+go test -race -run 'TestTimingMemoEquivalence|TestTimingMemoDeduplicates' ./internal/experiments
+go test -race -run 'TestNextInstsMatchesStream|TestNextInstsInterleavesWithNext|TestNextInstsProtocolMixPanics' ./internal/trace
+
+echo "==> batched-loop allocation bounds (no race: alloc counts need a plain build)"
 go test -run 'TestBatchedRunAllocs' ./internal/funcsim
+go test -run 'TestBatchedTimingRunAllocs' ./internal/pipeline
 
 echo "==> go test -race ./..."
 go test -race ./...
