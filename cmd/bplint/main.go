@@ -14,9 +14,16 @@
 //
 // and can be suppressed per line with a //bplint:allow <analyzer> comment
 // on the finding's line or the line above (see package analysis).
+//
+// -json switches stdout to a machine-readable JSON array of findings
+// (empty array on a clean run) for tooling; -annotate additionally emits
+// GitHub Actions ::error workflow commands on stderr so CI violations
+// annotate the offending lines in the run. The nonzero exit and the
+// "bplint: N finding(s)" summary on stderr are unchanged in every mode.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,8 +36,10 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list analyzers and exit")
-		only = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		only     = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+		asJSON   = flag.Bool("json", false, "print findings as a JSON array on stdout")
+		annotate = flag.Bool("annotate", false, "emit GitHub Actions ::error annotations on stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: bplint [flags] [patterns]\n")
@@ -70,13 +79,52 @@ func main() {
 		}
 		findings = append(findings, analysis.Run(pkg, loader.Module, analyzers)...)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		if err := printJSON(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if *annotate {
+		for _, f := range findings {
+			// GitHub Actions workflow command: annotates the file/line in
+			// the run's diff and log views.
+			fmt.Fprintf(os.Stderr, "::error file=%s,line=%d,col=%d::[%s] %s\n",
+				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "bplint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the stable machine-readable shape of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {

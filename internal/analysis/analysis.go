@@ -14,6 +14,25 @@
 //   - floatcmp: no exact floating-point equality in the statistics and
 //     experiment packages.
 //
+// A second, flow-aware generation proves the invariants the fast-path
+// layers (record/replay, batch protocols, memory sidecar, timing memo)
+// rest on:
+//
+//   - predictpure: Predict/PredictBits on internal/predictor types must
+//     not mutate predictor state — predictions are pure reads, Update is
+//     the mutation point;
+//   - lockguard: struct fields annotated "guarded by mu" may only be
+//     touched with that mutex provably held on every path;
+//   - keyfields: structs marked //bplint:keyfields must have every field
+//     referenced in their canonical-key method, so adding a field without
+//     extending the memo key is a lint failure, not a silent collision;
+//   - hotalloc: functions marked //bplint:hotpath are rejected for
+//     allocation-causing constructs (closures, interface boxing, fmt,
+//     append growth, map/slice literals);
+//   - protomix: one cursor variable must not mix the instruction
+//     (Next/NextInsts) and branch (NextBranches) protocols, statically
+//     complementing trace.Cursor's runtime panics.
+//
 // Findings can be suppressed for a single line with an allow directive on
 // the same line or the line directly above:
 //
@@ -52,6 +71,11 @@ func All() []*Analyzer {
 		SizeBytes,
 		Pow2Mask,
 		FloatCmp,
+		PredictPure,
+		LockGuard,
+		KeyFields,
+		HotAlloc,
+		ProtoMix,
 	}
 }
 

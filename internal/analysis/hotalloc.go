@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// HotAlloc keeps the batched replay loops allocation-free. Functions whose
+// doc comment carries //bplint:hotpath — the branch-batch drivers in
+// funcsim, the timing simulator's cursor loop and per-instruction step,
+// the trace cursor batch fills — run once per instruction or per batch
+// across multi-million-instruction sweeps; a single allocation in one of
+// them turns the flat loops PRs 3–4 bought into GC churn. The equivalence
+// suite pins allocs/op to zero at runtime (TestBatchedRunAllocs); this
+// analyzer rejects the allocating constructs at lint time, naming the
+// exact expression, so a refactor cannot reintroduce one silently.
+//
+// Flagged constructs: function literals (closure allocation), slice and
+// map literals, &T{...}, make, new, append (may grow), go statements,
+// calls into fmt, and boxing of non-pointer-shaped values into interface
+// parameters or conversions. Plain struct literals assigned by value
+// (batch[i] = BranchRec{...}) stay on the stack and are not flagged, and
+// neither are calls to builtins like panic whose argument only
+// materializes on the failure path. Deliberate cold-side allocations
+// inside a hot function carry //bplint:allow hotalloc with a reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions marked //bplint:hotpath must avoid allocation-causing constructs",
+	Run:  runHotAlloc,
+}
+
+var hotpathRe = regexp.MustCompile(`^//\s*bplint:hotpath\b`)
+
+func runHotAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+}
+
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if hotpathRe.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	// Composite literals directly under & allocate; those assigned by value
+	// do not. Collect the &-wrapped ones first so the literal visit can
+	// tell them apart.
+	addrOf := map[*ast.CompositeLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+			if cl, ok := ast.Unparen(ue.X).(*ast.CompositeLit); ok {
+				addrOf[cl] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "closure literal allocates in a hot path (%s is //bplint:hotpath)", fd.Name.Name)
+			return false // the closure body is not the hot loop
+		case *ast.GoStmt:
+			pass.Reportf(e.Pos(), "go statement allocates a goroutine in a hot path (%s is //bplint:hotpath)", fd.Name.Name)
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(e.Pos(), "slice literal allocates in a hot path (%s is //bplint:hotpath)", fd.Name.Name)
+			case *types.Map:
+				pass.Reportf(e.Pos(), "map literal allocates in a hot path (%s is //bplint:hotpath)", fd.Name.Name)
+			default:
+				if addrOf[e] {
+					pass.Reportf(e.Pos(), "&%s escapes to the heap in a hot path (%s is //bplint:hotpath)", types.ExprString(e.Type), fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, e)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtins: append may grow, make/new always allocate, the rest
+	// (panic, len, copy, ...) either don't or only on the failure path.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in a hot path (%s is //bplint:hotpath)", fd.Name.Name)
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in a hot path (%s is //bplint:hotpath)", id.Name, fd.Name.Name)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) allocates when T is an interface and x is not
+	// already pointer-shaped.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if boxes(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(), "conversion of %s to interface %s allocates in a hot path (%s is //bplint:hotpath)",
+					types.ExprString(call.Args[0]), types.ExprString(call.Fun), fd.Name.Name)
+			}
+		}
+		return
+	}
+
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s formats through interfaces and allocates in a hot path (%s is //bplint:hotpath)", fn.Name(), fd.Name.Name)
+			return
+		}
+	}
+
+	// Boxing: a non-pointer-shaped argument passed to an interface-typed
+	// parameter allocates the interface's data word.
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			break
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(pass, arg) {
+			pass.Reportf(arg.Pos(), "%s boxed into interface parameter allocates in a hot path (%s is //bplint:hotpath)",
+				types.ExprString(arg), fd.Name.Name)
+		}
+	}
+}
+
+// paramType returns the type of the i-th argument's parameter, unrolling
+// variadics; nil when i is out of range for a non-variadic signature.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		if i >= n-1 {
+			return sig.Params().At(n - 1).Type().(*types.Slice).Elem()
+		}
+		return sig.Params().At(i).Type()
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// boxes reports whether passing e as an interface value allocates:
+// constants and nil are materialized statically, and pointer-shaped types
+// (pointers, maps, channels, funcs, unsafe pointers) fit the interface
+// data word directly. Everything else — structs, ints, slices, strings —
+// is copied to the heap.
+func boxes(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		if tv.Type.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}

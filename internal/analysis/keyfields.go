@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// KeyFields makes memo-key exhaustiveness a build-time property. A struct
+// marked //bplint:keyfields (optionally naming the key method; default
+// Canonical) is a struct whose value is used as a map key identity — the
+// timing memo keys cells by pipeline.Config.Canonical(), so a Config field
+// that Canonical does not produce would make two genuinely different
+// machine configurations collide on one memoized Result, silently
+// corrupting an IPC cell. The analyzer requires every field of the marked
+// struct to be referenced by name in the key method (directly or through
+// same-package helpers it calls), which in practice forces the method to
+// build its result as an explicit field-by-field literal: adding a field
+// without extending the key is then a lint failure, not a latent memo
+// collision.
+//
+// Whole-struct copies (return c) do cover every field semantically, but
+// the analyzer deliberately rejects that shape: it is exactly the shape
+// that hides a forgotten normalization when the next field arrives.
+var KeyFields = &Analyzer{
+	Name: "keyfields",
+	Doc:  "structs marked //bplint:keyfields must have every field referenced in their canonical-key method",
+	Run:  runKeyFields,
+}
+
+var keyfieldsRe = regexp.MustCompile(`^//\s*bplint:keyfields(?:\s+([A-Za-z_][A-Za-z0-9_]*))?\s*$`)
+
+func runKeyFields(pass *Pass) {
+	decls := funcDecls(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				method := keyfieldsDirective(gd, ts)
+				if method == "" {
+					continue
+				}
+				checkKeyFields(pass, ts, method, decls)
+			}
+		}
+	}
+}
+
+// keyfieldsDirective returns the key-method name ("Canonical" when the
+// directive carries none, "" when there is no directive), looking at both
+// the TypeSpec's own doc and the enclosing GenDecl's.
+func keyfieldsDirective(gd *ast.GenDecl, ts *ast.TypeSpec) string {
+	for _, group := range []*ast.CommentGroup{ts.Doc, gd.Doc} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			if m := keyfieldsRe.FindStringSubmatch(c.Text); m != nil {
+				if m[1] == "" {
+					return "Canonical"
+				}
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+func checkKeyFields(pass *Pass, ts *ast.TypeSpec, method string, decls map[types.Object]*ast.FuncDecl) {
+	tn, _ := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if tn == nil {
+		return
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Name.Pos(), "//bplint:keyfields applies to struct types, %s is not one", ts.Name.Name)
+		return
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pass.Pkg, method)
+	keyFn, ok := obj.(*types.Func)
+	if !ok {
+		pass.Reportf(ts.Name.Pos(), "//bplint:keyfields: %s has no key method %s", ts.Name.Name, method)
+		return
+	}
+	root := decls[keyFn]
+	if root == nil {
+		pass.Reportf(ts.Name.Pos(), "//bplint:keyfields: %s.%s is not declared in this package, cannot verify key coverage", ts.Name.Name, method)
+		return
+	}
+	referenced := keyFieldRefs(pass, root, decls)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !referenced[f] {
+			pass.Reportf(f.Pos(),
+				"%s.%s is not referenced by (%s).%s — two configs differing only here would collide on one memo key",
+				ts.Name.Name, f.Name(), ts.Name.Name, method)
+		}
+	}
+}
+
+// keyFieldRefs is reachableFieldRefs extended with composite-literal keys:
+// in a keyed struct literal the field names appear as bare idents whose
+// object go/types records in Uses, not as selections.
+func keyFieldRefs(pass *Pass, root *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl) map[*types.Var]bool {
+	refs := reachableFieldRefs(pass, root, decls)
+	seen := map[*ast.FuncDecl]bool{root: true}
+	queue := []*ast.FuncDecl{root}
+	for len(queue) > 0 {
+		decl := queue[0]
+		queue = queue[1:]
+		if decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.KeyValueExpr:
+				if id, ok := e.Key.(*ast.Ident); ok {
+					if v, ok := pass.Info.Uses[id].(*types.Var); ok && v.IsField() {
+						refs[v] = true
+					}
+				}
+			case *ast.Ident:
+				if obj := pass.Info.Uses[e]; obj != nil {
+					if next := decls[obj]; next != nil && !seen[next] {
+						seen[next] = true
+						queue = append(queue, next)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return refs
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ProtoMix statically enforces the cursor protocol exclusivity that
+// trace.Cursor checks with runtime panics: one cursor value serves either
+// the instruction protocol (Next/NextInsts, which share a position) or the
+// branch protocol (NextBranches), never both — the two maintain
+// independent positions, so interleaving them silently skips or repeats
+// instructions. The runtime panic fires only on the executed path of the
+// offending configuration; this check rejects the mix wherever it is
+// written.
+//
+// Scope and approximation: per function, for each variable whose type
+// offers both protocols (a NextBranches method plus Next or NextInsts), a
+// branch-protocol call is reported when an instruction-protocol call on
+// the same variable dominates it (same containment rule as lockguard) with
+// no Reset in between, and vice versa. Calls in mutually exclusive
+// branches are left to the runtime panic, as are mixes across function
+// boundaries — the check complements the panic, it does not replace it.
+var ProtoMix = &Analyzer{
+	Name: "protomix",
+	Doc:  "one cursor variable must not mix the Next/NextInsts and NextBranches protocols",
+	Run:  runProtoMix,
+}
+
+// protoClass classifies a cursor method call.
+type protoClass int
+
+const (
+	protoNone   protoClass = iota
+	protoInst              // Next, NextInsts — shared position, freely interleavable
+	protoBranch            // NextBranches
+	protoReset             // Reset — rewinds both positions, legalizing a switch
+)
+
+func methodProtoClass(name string) protoClass {
+	switch name {
+	case "Next", "NextInsts":
+		return protoInst
+	case "NextBranches":
+		return protoBranch
+	case "Reset":
+		return protoReset
+	}
+	return protoNone
+}
+
+// protoCall is one protocol-relevant method call on a cursor variable.
+type protoCall struct {
+	class  protoClass
+	obj    types.Object // the cursor variable
+	method string
+	pos    token.Pos
+	fn     ast.Node
+	chain  []ast.Node
+}
+
+func runProtoMix(pass *Pass) {
+	var calls []protoCall
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		class := methodProtoClass(sel.Sel.Name)
+		if class == protoNone {
+			return
+		}
+		id := rootIdent(ast.Unparen(sel.X))
+		if id == nil {
+			return
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		// Only variables that genuinely offer both protocols are cursors in
+		// the trace sense; a type with just Next is any old iterator.
+		if !hasMethodNamed(pass.Pkg, v.Type(), "NextBranches") {
+			return
+		}
+		if !hasMethodNamed(pass.Pkg, v.Type(), "Next") && !hasMethodNamed(pass.Pkg, v.Type(), "NextInsts") {
+			return
+		}
+		fn := enclosingFunc(stack)
+		calls = append(calls, protoCall{
+			class:  class,
+			obj:    v,
+			method: sel.Sel.Name,
+			pos:    call.Pos(),
+			fn:     fn,
+			chain:  containerChain(stack, fn),
+		})
+	})
+
+	for _, b := range calls {
+		if b.class != protoInst && b.class != protoBranch {
+			continue
+		}
+		for _, a := range calls {
+			if a.obj != b.obj || a.fn != b.fn || a.pos >= b.pos {
+				continue
+			}
+			if a.class == protoNone || a.class == protoReset || a.class == b.class {
+				continue
+			}
+			// a must dominate b: every scope containing a also contains b.
+			if !chainCovers(b.chain, a.chain) {
+				continue
+			}
+			if resetBetween(calls, b.obj, b.fn, a.pos, b.pos) {
+				continue
+			}
+			pass.Reportf(b.pos,
+				"%s mixes cursor protocols: %s on %s follows %s with no Reset — the two protocols keep independent positions",
+				funcName(b.fn), b.method, b.obj.Name(), a.method)
+			break
+		}
+	}
+}
+
+// resetBetween reports a Reset call on obj in fn strictly between lo and hi.
+func resetBetween(calls []protoCall, obj types.Object, fn ast.Node, lo, hi token.Pos) bool {
+	for _, c := range calls {
+		if c.class == protoReset && c.obj == obj && c.fn == fn && c.pos > lo && c.pos < hi {
+			return true
+		}
+	}
+	return false
+}
+
+func funcName(fn ast.Node) string {
+	if fd, ok := fn.(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return "function literal"
+}

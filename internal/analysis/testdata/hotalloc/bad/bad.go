@@ -1,0 +1,31 @@
+// Package fix is the known-bad fixture for the hotalloc analyzer: every
+// allocation-causing construct inside a //bplint:hotpath function.
+package fix
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type sink interface{ Put(v any) }
+
+func helper() {}
+
+//bplint:hotpath the batch loop under test
+func hot(vals []int, s sink, out []int) []int {
+	f := func() int { return 1 } // want "closure literal allocates in a hot path"
+	_ = f
+	m := map[int]int{} // want "map literal allocates in a hot path"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates in a hot path"
+	_ = sl
+	p := &point{} // want "escapes to the heap in a hot path"
+	_ = p
+	buf := make([]byte, 16) // want "make allocates in a hot path"
+	_ = buf
+	out = append(out, 1) // want "append may grow its backing array in a hot path"
+	fmt.Println("x")     // want "formats through interfaces and allocates in a hot path"
+	s.Put(vals)          // want "boxed into interface parameter allocates in a hot path"
+	_ = any(vals[0])     // want "conversion of vals"
+	go helper()          // want "go statement allocates a goroutine in a hot path"
+	return out
+}

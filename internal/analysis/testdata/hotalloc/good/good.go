@@ -1,0 +1,48 @@
+// Package fix is the known-good fixture for the hotalloc analyzer: plain
+// struct literals stored by value stay on the stack, pointer-shaped and
+// constant values box for free, panic only materializes on the failure
+// path, cold functions may allocate freely, and a deliberate cold-side
+// allocation inside a hot function carries a documented allow directive.
+package fix
+
+type rec struct {
+	pc    uint64
+	taken bool
+}
+
+type sink interface{ Put(v any) }
+
+//bplint:hotpath steady-state fill loop
+func fill(dst []rec, pcs []uint64) int {
+	n := 0
+	for i := range pcs {
+		if n == len(dst) {
+			break
+		}
+		dst[n] = rec{pc: pcs[i], taken: pcs[i]&1 == 1} // by-value struct literal: stack
+		n++
+	}
+	if n == 0 {
+		panic("fix: empty fill") // builtin; the argument is a constant
+	}
+	return n
+}
+
+//bplint:hotpath pointer-shaped interface values do not box
+func publish(s sink, r *rec) {
+	s.Put(r)   // pointer: fits the interface data word
+	s.Put(nil) // nil: no allocation
+	s.Put(3)   // constant: materialized statically
+}
+
+//bplint:hotpath cold-side allocation is documented
+func grow(dst []rec) []rec {
+	//bplint:allow hotalloc amortized doubling, runs outside the steady state
+	dst = append(dst, rec{})
+	return dst
+}
+
+// cold is unmarked: allocation here is nobody's business.
+func cold() map[int]int {
+	return map[int]int{1: 1}
+}

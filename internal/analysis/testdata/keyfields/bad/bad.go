@@ -1,0 +1,45 @@
+// Package fix is the known-bad fixture for the keyfields analyzer: a key
+// struct with a field its canonical method never names (the memo-collision
+// shape), the mutate-and-return-receiver shape the analyzer deliberately
+// rejects, and a directive naming a method that does not exist.
+package fix
+
+// key identifies a memoized cell; c was added without extending the key.
+//
+//bplint:keyfields
+type key struct {
+	a int
+	b int
+	c int // want "not referenced by"
+}
+
+func (k key) Canonical() key {
+	return key{a: k.a, b: normalize(k.b)}
+}
+
+func normalize(b int) int {
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// copied uses the whole-struct-copy shape: semantically every field is in
+// the key today, but the next field added would be silently included
+// without review — the analyzer requires each field named explicitly.
+//
+//bplint:keyfields
+type copied struct {
+	a int // want "not referenced by"
+	b int
+}
+
+func (c copied) Canonical() copied {
+	c.b = 0
+	return c
+}
+
+//bplint:keyfields CanonKey
+type other struct { // want "has no key method CanonKey"
+	x int
+}

@@ -1,0 +1,46 @@
+// Package fix is the known-good fixture for the keyfields analyzer: an
+// explicit field-by-field key literal, coverage through a same-package
+// helper, a named key method, and a deliberately excluded derived field
+// carrying a documented allow directive.
+package fix
+
+//bplint:keyfields
+type key struct {
+	a int
+	b int
+}
+
+func (k key) Canonical() key {
+	return key{a: k.a, b: normalize(k.b)}
+}
+
+func normalize(b int) int {
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+//bplint:keyfields Canon
+type wide struct {
+	x int
+	y int
+}
+
+func (w wide) Canon() wide {
+	return wide{x: w.x, y: w.yNorm()}
+}
+
+// yNorm covers y through the call chain; the analyzer follows it.
+func (w wide) yNorm() int { return w.y }
+
+//bplint:keyfields
+type memo struct {
+	a int
+	// cached is recomputed from a on every use, so it is deliberately not
+	// part of the key identity.
+	//bplint:allow keyfields derived from a, never independently set
+	cached int
+}
+
+func (m memo) Canonical() memo { return memo{a: m.a} }

@@ -1,0 +1,46 @@
+// Package fix is the known-bad fixture for the predictpure analyzer: its
+// Predict mutates predictor state directly, through a same-package helper,
+// and through a cross-package mutator-named method.
+package fix
+
+import "sync/atomic"
+
+type counter struct{ v int }
+
+func (c *counter) Add(d int) { c.v += d }
+
+type pred struct {
+	table []int8
+	hist  uint64
+	ctr   counter
+	n     atomic.Int64
+}
+
+func (p *pred) index(pc uint64) int { return int(pc) % len(p.table) }
+
+// train bumps the indexed counter — an impure helper Predict must not call.
+func (p *pred) train(pc uint64) { p.table[p.index(pc)]++ }
+
+func (p *pred) Predict(pc uint64) bool {
+	p.hist = p.hist<<1 | 1 // want "must not mutate predictor state"
+	p.ctr.Add(1)           // want "must not mutate predictor state"
+	p.train(pc)            // want "must not mutate predictor state"
+	p.n.Add(1)             // want "must not mutate predictor state"
+	p.table[p.index(pc)]-- // want "must not mutate predictor state"
+	return p.table[p.index(pc)] >= 0
+}
+
+func (p *pred) PredictBits(pc uint64) (bool, int) {
+	p.hist++ // want "must not mutate predictor state"
+	return p.table[p.index(pc)] >= 0, int(p.hist)
+}
+
+// Update is the designated mutation point; it may do all of the above.
+func (p *pred) Update(pc uint64, taken bool) {
+	if taken {
+		p.train(pc)
+	} else {
+		p.table[p.index(pc)]--
+	}
+	p.hist = p.hist<<1 | 1
+}

@@ -1,0 +1,44 @@
+// Package fix is the known-bad fixture for the protomix analyzer: one
+// cursor variable driven through both the instruction and the branch
+// protocol in straight-line code, in both orders.
+package fix
+
+type inst struct{ pc uint64 }
+
+type branch struct{ pc uint64 }
+
+type cursor struct{ pos int }
+
+func (c *cursor) Next(i *inst) bool             { c.pos++; return false }
+func (c *cursor) NextInsts(dst []inst) int      { return 0 }
+func (c *cursor) NextBranches(dst []branch) int { return 0 }
+func (c *cursor) Reset()                        { c.pos = 0 }
+
+func mix(c *cursor) {
+	var i inst
+	c.Next(&i)
+	var b [4]branch
+	c.NextBranches(b[:]) // want "mixes cursor protocols"
+}
+
+func mixBatch(c *cursor) {
+	var d [4]inst
+	c.NextInsts(d[:])
+	var b [4]branch
+	c.NextBranches(b[:]) // want "mixes cursor protocols"
+}
+
+func mixBack(c *cursor) {
+	var b [4]branch
+	c.NextBranches(b[:])
+	var i inst
+	c.Next(&i) // want "mixes cursor protocols"
+}
+
+func mixInLoop(c *cursor) {
+	var i inst
+	for c.Next(&i) {
+		var b [4]branch
+		c.NextBranches(b[:]) // want "mixes cursor protocols"
+	}
+}

@@ -1,0 +1,59 @@
+// Package fix is the known-good fixture for the protomix analyzer: Next
+// and NextInsts share the instruction protocol's position and may mix,
+// Reset legalizes a protocol switch, distinct cursors are independent,
+// mutually exclusive branches are left to the runtime panic, and a
+// deliberate mix (a panic-path test harness shape) carries a documented
+// allow directive.
+package fix
+
+type inst struct{ pc uint64 }
+
+type branch struct{ pc uint64 }
+
+type cursor struct{ pos int }
+
+func (c *cursor) Next(i *inst) bool             { c.pos++; return false }
+func (c *cursor) NextInsts(dst []inst) int      { return 0 }
+func (c *cursor) NextBranches(dst []branch) int { return 0 }
+func (c *cursor) Reset()                        { c.pos = 0 }
+
+func instOnly(c *cursor) {
+	var i inst
+	for c.Next(&i) {
+	}
+	var d [4]inst
+	c.NextInsts(d[:]) // same protocol as Next: shared position
+}
+
+func resetBetween(c *cursor) {
+	var i inst
+	c.Next(&i)
+	c.Reset()
+	var b [4]branch
+	c.NextBranches(b[:])
+}
+
+func twoCursors(a, b *cursor) {
+	var i inst
+	a.Next(&i)
+	var r [4]branch
+	b.NextBranches(r[:])
+}
+
+func eitherOr(c *cursor, branchy bool) {
+	if branchy {
+		var r [4]branch
+		c.NextBranches(r[:])
+	} else {
+		var i inst
+		c.Next(&i)
+	}
+}
+
+func deliberate(c *cursor) {
+	var i inst
+	c.Next(&i)
+	var b [4]branch
+	//bplint:allow protomix exercising the runtime mode-mix panic on purpose
+	c.NextBranches(b[:])
+}

@@ -32,7 +32,10 @@ type timingKey struct {
 // and share the Result.
 type timingEntry struct {
 	once sync.Once
-	res  pipeline.Result
+	// res is written inside once.Do and read only after Do returns; the
+	// sync.Once serializes it, not TimingMemo.mu, so it deliberately has no
+	// lockguard annotation.
+	res pipeline.Result
 }
 
 // TimingMemo memoizes pipeline Results by canonical cell key, so cells
@@ -42,8 +45,8 @@ type timingEntry struct {
 // at their shared budgets — are simulated once per process.
 type TimingMemo struct {
 	mu      sync.Mutex
-	entries map[timingKey]*timingEntry
-	hits    int64
+	entries map[timingKey]*timingEntry // guarded by mu
+	hits    int64                      // guarded by mu
 }
 
 // NewTimingMemo returns an empty memo.

@@ -190,6 +190,8 @@ type branchRun struct {
 
 // driveCursor is drive specialized to the concrete replay cursor so the
 // batch array does not escape to the heap (see Run).
+//
+//bplint:hotpath accuracy fast path; TestBatchedRunAllocs pins allocs/op to zero
 func (r *branchRun) driveCursor(cur *trace.Cursor) {
 	var batch [trace.BatchLen]trace.BranchRec
 	for {
@@ -221,6 +223,8 @@ func (r *branchRun) drive(bs trace.BranchSource) {
 
 // step processes one filled batch; it reports true when the instruction
 // budget is exhausted and the run is complete.
+//
+//bplint:hotpath batch loop body shared by driveCursor and drive
 func (r *branchRun) step(batch []trace.BranchRec) (done bool) {
 	for i := range batch {
 		rec := &batch[i]
@@ -244,6 +248,9 @@ func (r *branchRun) step(batch []trace.BranchRec) (done bool) {
 				if name, ok := r.classifier.BranchClassName(rec.PC); ok {
 					cr := r.classRates[name]
 					if cr == nil {
+						// One allocation per distinct branch class (a handful
+						// per run), only on the PerClass diagnostic path.
+						//bplint:allow hotalloc bounded by the class count, not the instruction count
 						cr = &stats.Rate{}
 						r.classRates[name] = cr
 					}

@@ -14,6 +14,13 @@ import (
 )
 
 // Config parameterizes the simulated core. DefaultConfig reproduces Table 1.
+//
+// Config's canonical form is the timing memo's key component, so every
+// field must flow into Canonical — the keyfields analyzer enforces that a
+// field added here is also added to the key, keeping two genuinely
+// different machines from colliding on one memoized Result.
+//
+//bplint:keyfields Canonical
 type Config struct {
 	// FetchWidth is the instructions fetched per cycle (fetch stops at a
 	// taken branch and at I-cache block boundaries).
@@ -101,7 +108,38 @@ func (c Config) frontEndDepth() int {
 // Canonical returns the config with derived defaults resolved, so two
 // configs describing the same machine compare equal. Config is comparable;
 // the canonical form is the timing-result memo's config key component.
+//
+// The result is built as an explicit field-by-field literal rather than a
+// mutated copy of the receiver: the keyfields analyzer requires every
+// Config field to be named here, turning a field added without a key
+// extension into a lint failure instead of a silent memo collision.
 func (c Config) Canonical() Config {
-	c.FrontEndDepth = c.frontEndDepth()
-	return c
+	return Config{
+		FetchWidth:    c.FetchWidth,
+		IssueWidth:    c.IssueWidth,
+		CommitWidth:   c.CommitWidth,
+		ROBSize:       c.ROBSize,
+		PipelineDepth: c.PipelineDepth,
+		FrontEndDepth: c.frontEndDepth(),
+
+		IntPorts: c.IntPorts,
+		MemPorts: c.MemPorts,
+		MulPorts: c.MulPorts,
+		FPPorts:  c.FPPorts,
+
+		MulLatency: c.MulLatency,
+		FPLatency:  c.FPLatency,
+
+		L1I: c.L1I,
+		L1D: c.L1D,
+		L2:  c.L2,
+
+		L1DLatency: c.L1DLatency,
+		L2Latency:  c.L2Latency,
+		MemLatency: c.MemLatency,
+
+		BTBEntries:     c.BTBEntries,
+		BTBWays:        c.BTBWays,
+		BTBMissPenalty: c.BTBMissPenalty,
+	}
 }

@@ -322,6 +322,8 @@ func (s *Sim) Run(src trace.Source, maxInsts, warmupInsts int64) Result {
 
 // runCursor is the batched loop specialized to the concrete replay cursor
 // so the batch array does not escape to the heap (see Run).
+//
+//bplint:hotpath timing fast path; TestBatchedTimingRunAllocs pins allocs/op to zero
 func (s *Sim) runCursor(cur *trace.Cursor, rs *runState) {
 	var batch [trace.InstBatchLen]trace.Inst
 	for s.insts < rs.maxInsts {
@@ -361,6 +363,8 @@ func (s *Sim) runInstSource(is trace.InstSource, rs *runState) {
 // the instruction-at-a-time and batched drive loops, so the fast paths are
 // equivalent by construction and only the stream delivery (and, with a
 // sidecar, the memory-latency source) differs.
+//
+//bplint:hotpath runs once per instruction across multi-million-instruction sweeps
 func (s *Sim) step(inst *trace.Inst, rs *runState) {
 	if s.insts == rs.warmupInsts {
 		rs.warmupCycle = s.lastCommit

@@ -170,6 +170,12 @@ func (p *Perceptron) output(pc uint64) (y int, base int) {
 // Predict implements Predictor.
 func (p *Perceptron) Predict(pc uint64) bool {
 	y, base := p.output(pc)
+	// The dot-product memo is observationally pure: Update consults it only
+	// when the PC matches and always invalidates it, and Predict overwrites
+	// it unconditionally, so no prediction or training outcome ever depends
+	// on whether (or in what order) earlier Predicts ran — out-of-order
+	// pipeline drivers stay bit-identical to in-order ones.
+	//bplint:allow predictpure memo never changes an outcome; Update invalidates it on every call
 	p.memoPC, p.memoY, p.memoBase, p.memoValid = pc, y, base, true
 	return y >= 0
 }

@@ -99,6 +99,8 @@ type BranchCursor struct {
 
 // NextBranches implements BranchSource: it jumps branch-to-branch through
 // the index, never touching the instructions in between.
+//
+//bplint:hotpath batch fill for the accuracy fast path
 func (c *BranchCursor) NextBranches(dst []BranchRec) int {
 	n := 0
 	for n < len(dst) {

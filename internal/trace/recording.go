@@ -138,6 +138,8 @@ type Cursor struct {
 }
 
 // Next implements Source, reconstructing the recorded instruction exactly.
+//
+//bplint:hotpath per-instruction replay fallback
 func (c *Cursor) Next(inst *Inst) bool {
 	if c.br.scanned != 0 || c.br.bi != 0 || c.br.ci != 0 {
 		panic("trace: replay cursor used with both Next and NextBranches")
@@ -186,6 +188,8 @@ func (c *Cursor) Name() string { return c.rec.name }
 // shares the instruction protocol's position with Next — the two may be
 // interleaved — but, like Next, it must not be mixed with the branch
 // protocol on one cursor.
+//
+//bplint:hotpath batch fill for the timing fast path
 func (c *Cursor) NextInsts(dst []Inst) int {
 	if c.br.scanned != 0 || c.br.bi != 0 || c.br.ci != 0 {
 		panic("trace: replay cursor used with both NextInsts and NextBranches")
@@ -250,6 +254,8 @@ func (c *Cursor) Pos() int64 { return c.served }
 
 // NextBranches implements BranchSource via the recording's branch index
 // (see BranchCursor). It must not be mixed with Next on one cursor.
+//
+//bplint:hotpath forwards to the indexed branch fill
 func (c *Cursor) NextBranches(dst []BranchRec) int {
 	if c.served != 0 {
 		panic("trace: replay cursor used with both Next and NextBranches")

@@ -18,7 +18,7 @@ type sidecarKey struct {
 // recordings.
 type sidecarEntry struct {
 	once sync.Once
-	side *pipeline.MemSidecar
+	side *pipeline.MemSidecar // guarded by Store.mu
 }
 
 // MemSidecar returns the memoized memory-latency sidecar for key's

@@ -29,15 +29,15 @@ type Key struct {
 // derived memory-latency sidecars (sidecar.go).
 type Store struct {
 	mu       sync.Mutex
-	entries  map[Key]*entry
-	sidecars map[sidecarKey]*sidecarEntry
+	entries  map[Key]*entry               // guarded by mu
+	sidecars map[sidecarKey]*sidecarEntry // guarded by mu
 }
 
 // entry serializes the recording of one key: the first goroutine to arrive
 // records inside the once; the rest block on it and then replay.
 type entry struct {
 	once sync.Once
-	rec  *trace.Recording
+	rec  *trace.Recording // guarded by Store.mu
 }
 
 // New returns an empty store.

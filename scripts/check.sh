@@ -19,7 +19,7 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> bplint ./..."
+echo "==> bplint ./... (all ten analyzers, flow-aware suite included)"
 go run ./cmd/bplint ./...
 
 echo "==> replay equivalence (live vs recorded streams, race-enabled)"
@@ -31,7 +31,7 @@ go test -race -run 'TestBranchIndexMatchesStream|TestCodecPreservesBranchIndex|T
 
 echo "==> timing fast-path equivalence (batched/sidecar/memo vs instruction-at-a-time live-cache, race-enabled)"
 go test -race -run 'TestTimingFastPathEquivalence|TestSidecarFallback|TestSlotRingWraparound' ./internal/pipeline
-go test -race -run 'TestTimingMemoEquivalence|TestTimingMemoDeduplicates' ./internal/experiments
+go test -race -run 'TestTimingMemoEquivalence|TestTimingMemoDeduplicates|TestTimingMemoConcurrentStress' ./internal/experiments
 go test -race -run 'TestNextInstsMatchesStream|TestNextInstsInterleavesWithNext|TestNextInstsProtocolMixPanics' ./internal/trace
 
 echo "==> batched-loop allocation bounds (no race: alloc counts need a plain build)"
