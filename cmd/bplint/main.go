@@ -1,7 +1,7 @@
 // Command bplint runs the repository's custom static-analysis suite
-// (internal/analysis) over Go packages and exits nonzero on findings. It is
-// built only on the standard library — no analysis framework dependency —
-// and is wired into scripts/check.sh and CI.
+// (internal/analysis) over Go packages. It is built only on the standard
+// library — no analysis framework dependency — and is wired into
+// scripts/check.sh and CI.
 //
 // Usage:
 //
@@ -12,94 +12,348 @@
 //
 //	file:line:col: message [analyzer]
 //
-// and can be suppressed per line with a //bplint:allow <analyzer> comment
-// on the finding's line or the line above (see package analysis).
+// sorted by file, line, column and analyzer — the order is deterministic
+// across runs and across the cache — and can be suppressed per line with a
+// //bplint:allow <analyzer> comment on the finding's line or the line
+// above (see package analysis).
+//
+// Exit codes follow the gofmt/staticcheck convention:
+//
+//	0  clean run, no findings
+//	1  the analyzers produced findings
+//	2  usage, load or internal error
 //
 // -json switches stdout to a machine-readable JSON array of findings
 // (empty array on a clean run) for tooling; -annotate additionally emits
 // GitHub Actions ::error workflow commands on stderr so CI violations
-// annotate the offending lines in the run. The nonzero exit and the
-// "bplint: N finding(s)" summary on stderr are unchanged in every mode.
+// annotate the offending lines in the run. -allows switches to the audit
+// listing: every active //bplint:allow directive with its justification,
+// so waivers stay reviewable.
+//
+// Analysis fans out over a worker pool, one package per task, and finding
+// sets are cached under <module root>/.bplint keyed by a transitive
+// content hash (package sources, module-local dependency sources, tool
+// sources, analyzer set, Go version). A warm run skips type-checking
+// entirely and replays byte-identical output; -nocache bypasses the cache
+// and -cachedir relocates it.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
 	"branchsim/internal/analysis"
 )
 
+// cacheVersion invalidates every cached finding set when the cache format
+// changes; analyzer and tool-source changes invalidate through the salt's
+// transitive hash of cmd/bplint (which imports internal/analysis).
+const cacheVersion = "bplint-cache-v1"
+
+// options carries the parsed command line; run is pure in it, so tests
+// drive the whole tool without exec-ing a binary.
+type options struct {
+	list     bool
+	allows   bool
+	asJSON   bool
+	annotate bool
+	noCache  bool
+	only     string
+	cacheDir string
+	patterns []string
+}
+
 func main() {
-	var (
-		list     = flag.Bool("list", false, "list analyzers and exit")
-		only     = flag.String("run", "", "comma-separated analyzer names to run (default all)")
-		asJSON   = flag.Bool("json", false, "print findings as a JSON array on stdout")
-		annotate = flag.Bool("annotate", false, "emit GitHub Actions ::error annotations on stderr")
-	)
+	var opts options
+	flag.BoolVar(&opts.list, "list", false, "list analyzers and exit")
+	flag.StringVar(&opts.only, "run", "", "comma-separated analyzer names to run (default all)")
+	flag.BoolVar(&opts.asJSON, "json", false, "print findings as a JSON array on stdout")
+	flag.BoolVar(&opts.annotate, "annotate", false, "emit GitHub Actions ::error annotations on stderr")
+	flag.BoolVar(&opts.allows, "allows", false, "list every //bplint:allow directive with its justification and exit")
+	flag.BoolVar(&opts.noCache, "nocache", false, "disable the finding cache")
+	flag.StringVar(&opts.cacheDir, "cachedir", "", "finding cache directory (default <module root>/.bplint)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: bplint [flags] [patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	opts.patterns = flag.Args()
+	os.Exit(run(opts, os.Stdout, os.Stderr))
+}
 
+// run executes the tool and returns its process exit code: 0 clean, 1
+// findings, 2 usage/load/internal error.
+func run(opts options, stdout, stderr io.Writer) int {
 	analyzers := analysis.All()
-	if *list {
+	if opts.list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
-	if *only != "" {
-		analyzers = selectAnalyzers(analyzers, *only)
+	if opts.only != "" {
+		var err error
+		analyzers, err = selectAnalyzers(analyzers, opts.only)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
 	}
 
-	patterns := flag.Args()
+	patterns := opts.patterns
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	dirs, err := resolvePatterns(patterns)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
-	var findings []analysis.Finding
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			fatal(err)
-		}
-		findings = append(findings, analysis.Run(pkg, loader.Module, analyzers)...)
+	if opts.allows {
+		return runAllows(dirs, stdout, stderr)
 	}
-	if *asJSON {
-		if err := printJSON(findings); err != nil {
-			fatal(err)
+
+	var cache *findingCache
+	if !opts.noCache {
+		cache, err = openCache(opts, loader, analyzers)
+		if err != nil {
+			// The cache is an accelerator, not a correctness requirement:
+			// fall back to uncached analysis.
+			fmt.Fprintf(stderr, "bplint: cache disabled: %v\n", err)
+			cache = nil
+		}
+	}
+
+	findings, err := analyze(loader, dirs, analyzers, cache)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	sortFindings(findings)
+
+	if opts.asJSON {
+		if err := printJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 	} else {
 		for _, f := range findings {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
 	}
-	if *annotate {
+	if opts.annotate {
 		for _, f := range findings {
 			// GitHub Actions workflow command: annotates the file/line in
 			// the run's diff and log views.
-			fmt.Fprintf(os.Stderr, "::error file=%s,line=%d,col=%d::[%s] %s\n",
+			fmt.Fprintf(stderr, "::error file=%s,line=%d,col=%d::[%s] %s\n",
 				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "bplint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "bplint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
+}
+
+// analyze produces the findings for dirs: cache hits replay stored finding
+// sets without loading anything; misses are loaded sequentially (the
+// recursive importer shares loader state) and then analyzed concurrently,
+// one package per worker-pool task — the analyzer passes only read the
+// type-checked packages, so they fan out freely.
+func analyze(loader *analysis.Loader, dirs []string, analyzers []*analysis.Analyzer, cache *findingCache) ([]analysis.Finding, error) {
+	perDir := make([][]analysis.Finding, len(dirs))
+	var misses []int
+	for i, dir := range dirs {
+		if cache != nil {
+			if fs, ok := cache.get(dir); ok {
+				perDir[i] = fs
+				continue
+			}
+		}
+		misses = append(misses, i)
+	}
+
+	if len(misses) > 0 {
+		pkgs := make([]*analysis.Package, len(misses))
+		for k, i := range misses {
+			pkg, err := loader.LoadDir(dirs[i])
+			if err != nil {
+				return nil, err
+			}
+			pkgs[k] = pkg
+		}
+		module := loader.Module
+
+		type result struct {
+			k        int
+			findings []analysis.Finding
+		}
+		jobs := make(chan int)
+		out := make(chan result)
+		workers := runtime.NumCPU()
+		if workers > len(misses) {
+			workers = len(misses)
+		}
+		for w := 0; w < workers; w++ {
+			go func() {
+				for k := range jobs {
+					out <- result{k, analysis.Run(pkgs[k], module, analyzers)}
+				}
+			}()
+		}
+		go func() {
+			for k := range pkgs {
+				jobs <- k
+			}
+			close(jobs)
+		}()
+		for range misses {
+			r := <-out
+			i := misses[r.k]
+			perDir[i] = r.findings
+			if cache != nil {
+				cache.put(dirs[i], r.findings)
+			}
+		}
+	}
+
+	var findings []analysis.Finding
+	for _, fs := range perDir {
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}
+
+// sortFindings orders findings by file, line, column and analyzer so the
+// output is deterministic regardless of package order, worker scheduling
+// or cache hits.
+func sortFindings(findings []analysis.Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// runAllows prints the audit listing of every active allow directive.
+func runAllows(dirs []string, stdout, stderr io.Writer) int {
+	directives, err := analysis.CollectAllowDirectives(dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, d := range directives {
+		reason := d.Reason
+		if reason == "" {
+			reason = "(no justification given)"
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", d.File, d.Line, strings.Join(d.Analyzers, ","), reason)
+	}
+	fmt.Fprintf(stderr, "bplint: %d allow directive(s)\n", len(directives))
+	return 0
+}
+
+// findingCache memoizes per-package finding sets under .bplint/, keyed by
+// the transitive content hash of the package plus the tool configuration.
+type findingCache struct {
+	dir    string
+	hasher *analysis.ModuleHasher
+}
+
+// openCache builds the cache handle: the salt folds in the cache format
+// version, the Go version, the analyzer selection, and the transitive
+// source hash of cmd/bplint itself (which imports internal/analysis), so
+// editing any analyzer invalidates every entry.
+func openCache(opts options, loader *analysis.Loader, analyzers []*analysis.Analyzer) (*findingCache, error) {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	base := analysis.NewModuleHasher(loader.Module, loader.Root, "")
+	toolHash, err := base.PackageHash(filepath.Join(loader.Root, "cmd", "bplint"))
+	if err != nil {
+		return nil, err
+	}
+	salt := cacheVersion + "|" + runtime.Version() + "|" + strings.Join(names, ",") + "|" + toolHash
+	dir := opts.cacheDir
+	if dir == "" {
+		dir = filepath.Join(loader.Root, ".bplint")
+	}
+	return &findingCache{
+		dir:    dir,
+		hasher: analysis.NewModuleHasher(loader.Module, loader.Root, salt),
+	}, nil
+}
+
+func (c *findingCache) path(dir string) (string, error) {
+	key, err := c.hasher.PackageHash(dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(c.dir, key+".json"), nil
+}
+
+// get returns the cached finding set for the package in dir, if any.
+func (c *findingCache) get(dir string) ([]analysis.Finding, bool) {
+	path, err := c.path(dir)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, false
+	}
+	return findings, true
+}
+
+// put stores the finding set for the package in dir; cache write failures
+// are deliberately silent (the run's own output is already correct).
+func (c *findingCache) put(dir string, findings []analysis.Finding) {
+	path, err := c.path(dir)
+	if err != nil {
+		return
+	}
+	if findings == nil {
+		findings = []analysis.Finding{}
+	}
+	data, err := json.Marshal(findings)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	_ = os.WriteFile(path, data, 0o644)
 }
 
 // jsonFinding is the stable machine-readable shape of one finding.
@@ -111,7 +365,7 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
-func printJSON(findings []analysis.Finding) error {
+func printJSON(w io.Writer, findings []analysis.Finding) error {
 	out := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {
 		out = append(out, jsonFinding{
@@ -122,12 +376,14 @@ func printJSON(findings []analysis.Finding) error {
 			Message:  f.Message,
 		})
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
 
-func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
+// selectAnalyzers filters all down to the comma-separated names, erroring
+// on unknown ones (listed in sorted order, so the message is stable).
+func selectAnalyzers(all []*analysis.Analyzer, names string) ([]*analysis.Analyzer, error) {
 	want := map[string]bool{}
 	for _, n := range strings.Split(names, ",") {
 		want[strings.TrimSpace(n)] = true
@@ -139,10 +395,15 @@ func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyze
 			delete(want, a.Name)
 		}
 	}
-	for n := range want {
-		fatal(fmt.Errorf("bplint: unknown analyzer %q", n))
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("bplint: unknown analyzer(s): %s", strings.Join(unknown, ", "))
 	}
-	return out
+	return out, nil
 }
 
 // resolvePatterns expands directory patterns ("./...", "dir", "dir/...")
@@ -167,16 +428,17 @@ func resolvePatterns(patterns []string) ([]string, error) {
 			}
 			continue
 		}
+		if _, err := os.Stat(pat); err != nil {
+			return nil, fmt.Errorf("bplint: %w", err)
+		}
 		if abs, err := filepath.Abs(pat); err == nil && !seen[abs] {
 			seen[abs] = true
 			dirs = append(dirs, pat)
 		}
 	}
+	if len(dirs) == 0 {
+		return nil, errors.New("bplint: no packages matched the given patterns")
+	}
 	sort.Strings(dirs)
 	return dirs, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"go/token"
+	"testing"
+	"time"
+
+	"branchsim/internal/analysis"
+)
+
+// TestSortFindingsDeterministic pins the global output order: file, then
+// line, then column, then analyzer — independent of the order packages
+// were analyzed or cached in.
+func TestSortFindingsDeterministic(t *testing.T) {
+	mk := func(file string, line, col int, analyzer string) analysis.Finding {
+		return analysis.Finding{
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Analyzer: analyzer,
+		}
+	}
+	shuffled := []analysis.Finding{
+		mk("b.go", 1, 1, "determinism"),
+		mk("a.go", 9, 1, "frozen"),
+		mk("a.go", 2, 5, "maporder"),
+		mk("a.go", 2, 5, "frozen"),
+		mk("a.go", 2, 1, "panicmsg"),
+	}
+	want := []analysis.Finding{
+		mk("a.go", 2, 1, "panicmsg"),
+		mk("a.go", 2, 5, "frozen"),
+		mk("a.go", 2, 5, "maporder"),
+		mk("a.go", 9, 1, "frozen"),
+		mk("b.go", 1, 1, "determinism"),
+	}
+	sortFindings(shuffled)
+	for i := range want {
+		if shuffled[i] != want[i] {
+			t.Fatalf("position %d: got %v, want %v", i, shuffled[i], want[i])
+		}
+	}
+}
+
+// TestExitCodes pins the process exit contract: 0 clean, 1 findings, 2
+// usage/load error.
+func TestExitCodes(t *testing.T) {
+	const badFixture = "../../internal/analysis/testdata/determinism/bad"
+	cases := []struct {
+		name string
+		opts options
+		want int
+	}{
+		{"clean", options{patterns: []string{"../../internal/rng"}, noCache: true}, 0},
+		{"findings", options{patterns: []string{badFixture}, noCache: true}, 1},
+		{"unknown-analyzer", options{only: "nosuchanalyzer", noCache: true}, 2},
+		{"missing-dir", options{patterns: []string{"./definitely-missing"}, noCache: true}, 2},
+		{"list", options{list: true}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.opts, &stdout, &stderr); got != tc.want {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestCacheWarmRun proves the two cache guarantees: a warm run's stdout is
+// byte-identical to the cold run's, and it is at least twice as fast
+// (in practice far more — it skips type-checking entirely).
+func TestCacheWarmRun(t *testing.T) {
+	cacheDir := t.TempDir()
+	opts := options{
+		patterns: []string{"../../internal/analysis/testdata/determinism/bad"},
+		cacheDir: cacheDir,
+	}
+
+	var cold, warm bytes.Buffer
+	start := time.Now()
+	if code := run(opts, &cold, &bytes.Buffer{}); code != 1 {
+		t.Fatalf("cold run exit = %d, want 1", code)
+	}
+	coldDur := time.Since(start)
+
+	start = time.Now()
+	if code := run(opts, &warm, &bytes.Buffer{}); code != 1 {
+		t.Fatalf("warm run exit = %d, want 1", code)
+	}
+	warmDur := time.Since(start)
+
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm output differs from cold:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+	if cold.Len() == 0 {
+		t.Fatal("cold run produced no findings output")
+	}
+	if warmDur > coldDur/2 {
+		t.Errorf("warm run (%v) is not at least 2x faster than cold (%v)", warmDur, coldDur)
+	}
+}
+
+// TestCacheInvalidation: a different analyzer selection must not reuse a
+// cached finding set computed under another selection.
+func TestCacheInvalidation(t *testing.T) {
+	cacheDir := t.TempDir()
+	const badFixture = "../../internal/analysis/testdata/determinism/bad"
+
+	var all, one bytes.Buffer
+	if code := run(options{patterns: []string{badFixture}, cacheDir: cacheDir}, &all, &bytes.Buffer{}); code != 1 {
+		t.Fatalf("full-suite run exit = %d, want 1", code)
+	}
+	if code := run(options{patterns: []string{badFixture}, cacheDir: cacheDir, only: "panicmsg"}, &one, &bytes.Buffer{}); code == 2 {
+		t.Fatalf("panicmsg-only run errored:\n%s", one.String())
+	}
+	if bytes.Equal(all.Bytes(), one.Bytes()) {
+		t.Errorf("analyzer selection did not change cached output:\n%s", all.String())
+	}
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/build"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AllowDirective is one //bplint:allow occurrence: which analyzers it
+// suppresses, where, and the justification text after the names. The
+// cmd/bplint -allows audit mode lists them so waivers stay reviewable
+// instead of accreting silently.
+type AllowDirective struct {
+	File      string
+	Line      int
+	Analyzers []string
+	Reason    string
+}
+
+// CollectAllowDirectives parses (without type-checking) every non-test Go
+// file in dirs and returns each allow directive, sorted by file and line.
+// Directories that hold no Go package are skipped.
+func CollectAllowDirectives(dirs []string) ([]AllowDirective, error) {
+	fset := token.NewFileSet()
+	var out []AllowDirective
+	for _, dir := range dirs {
+		bp, err := build.ImportDir(dir, 0)
+		if err != nil {
+			if _, nogo := err.(*build.NoGoError); nogo {
+				continue
+			}
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		for _, name := range bp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					out = append(out, AllowDirective{
+						File:      pos.Filename,
+						Line:      pos.Line,
+						Analyzers: strings.Split(m[1], ","),
+						Reason:    strings.TrimSpace(m[2]),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}

@@ -33,6 +33,24 @@
 //     (Next/NextInsts) and branch (NextBranches) protocols, statically
 //     complementing trace.Cursor's runtime panics.
 //
+// A third generation certifies the concurrency discipline of the shared
+// read-mostly structures the sharded drivers lean on, built on a common
+// per-package dataflow core (dataflow.go) that tracks constructor origins,
+// escapes and lock/Once dominance:
+//
+//   - frozen: types marked //bplint:frozen (recordings, memory sidecars,
+//     memoized results) are never written after escaping their
+//     constructor; sync.Once publication is the one sanctioned late write;
+//   - sharedcapture: go-launched closures must not capture shared mutable
+//     variables unless every access is lock-dominated;
+//   - oncepublish: payload fields paired with a sync.Once are published
+//     inside Do and read behind a dominating Do or lock — the
+//     unsynchronized double-checked load is a finding;
+//   - globalstate: package-level vars in the hot shared packages are
+//     sync primitives, self-guarded, write-once, or explicitly allowed;
+//   - maporder: nondeterministic map iteration order must not flow into
+//     canonical keys, codec output, or stdout.
+//
 // Findings can be suppressed for a single line with an allow directive on
 // the same line or the line directly above:
 //
@@ -76,6 +94,11 @@ func All() []*Analyzer {
 		KeyFields,
 		HotAlloc,
 		ProtoMix,
+		Frozen,
+		SharedCapture,
+		OncePublish,
+		GlobalState,
+		MapOrder,
 	}
 }
 
@@ -171,7 +194,7 @@ func Run(pkg *Package, module string, analyzers []*Analyzer) []Finding {
 	return out
 }
 
-var allowRe = regexp.MustCompile(`^//\s*bplint:allow\s+([A-Za-z0-9_,-]+)`)
+var allowRe = regexp.MustCompile(`^//\s*bplint:allow\s+([A-Za-z0-9_,-]+)[ \t]*(.*)$`)
 
 // allowSet records, per file and line, the analyzer names an allow directive
 // suppresses.

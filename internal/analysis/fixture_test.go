@@ -188,6 +188,28 @@ func TestKeyFields(t *testing.T) { testAnalyzer(t, KeyFields, "branchsim/interna
 func TestHotAlloc(t *testing.T)  { testAnalyzer(t, HotAlloc, "branchsim/internal") }
 func TestProtoMix(t *testing.T)  { testAnalyzer(t, ProtoMix, "branchsim/internal") }
 
+func TestFrozen(t *testing.T)        { testAnalyzer(t, Frozen, "branchsim/internal") }
+func TestSharedCapture(t *testing.T) { testAnalyzer(t, SharedCapture, "branchsim/internal") }
+func TestOncePublish(t *testing.T)   { testAnalyzer(t, OncePublish, "branchsim/internal") }
+func TestMapOrder(t *testing.T)      { testAnalyzer(t, MapOrder, "branchsim/internal") }
+
+// GlobalState only fires in the hot shared packages, so its fixtures mount
+// under internal/pipeline; a third pass proves the path gate by mounting
+// the bad fixture under a path the analyzer ignores.
+func TestGlobalState(t *testing.T) {
+	testAnalyzer(t, GlobalState, "branchsim/internal/pipeline")
+	t.Run("ungated-path", func(t *testing.T) {
+		dir := filepath.Join("testdata", "globalstate", "bad")
+		pkg, err := fixtureLoader(t).LoadDirAs(dir, "branchsim/internal/predictor/globalfix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs := Run(pkg, "branchsim", []*Analyzer{GlobalState}); len(fs) != 0 {
+			t.Fatalf("globalstate fired outside its gated packages: %v", fs)
+		}
+	})
+}
+
 // TestAllowDirectiveScope verifies a directive only suppresses the named
 // analyzer: the determinism bad fixture keeps all its findings when the
 // directive in it names nothing relevant (there is none), and the good

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseExpr parses one expression for the rootIdent table.
+func parseExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", src, err)
+	}
+	return e
+}
+
+func TestRootIdent(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string // "" = nil: the chain is not rooted in an identifier
+	}{
+		{"x", "x"},
+		{"x.f", "x"},
+		{"x.f.g", "x"},
+		{"x[i]", "x"},
+		{"x.f[i].g", "x"},
+		{"(x)", "x"},
+		{"(*x).f", "x"},
+		{"*x", "x"},
+		{"f()", ""},
+		{"f().g", ""},
+		{"[]int{1}", ""},
+		{"m[k].f", "m"},
+		{"&x", ""}, // unary & is not part of an access chain
+	}
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			id := rootIdent(parseExpr(t, tc.expr))
+			switch {
+			case tc.want == "" && id != nil:
+				t.Fatalf("rootIdent(%s) = %s, want nil", tc.expr, id.Name)
+			case tc.want != "" && id == nil:
+				t.Fatalf("rootIdent(%s) = nil, want %s", tc.expr, tc.want)
+			case tc.want != "" && id.Name != tc.want:
+				t.Fatalf("rootIdent(%s) = %s, want %s", tc.expr, id.Name, tc.want)
+			}
+		})
+	}
+}
+
+// flowProbe walks a single-function file and captures, at each marked call
+// site probe(n), the enclosing function and container chain exactly as the
+// analyzers see them during inspectStack.
+func flowProbe(t *testing.T, src string) (fns map[int]ast.Node, chains map[int][]ast.Node) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "probe.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing probe source: %v", err)
+	}
+	fns, chains = map[int]ast.Node{}, map[int][]ast.Node{}
+	inspectStack([]*ast.File{file}, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "probe" || len(call.Args) != 1 {
+			return
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return
+		}
+		k := 0
+		for _, c := range lit.Value {
+			k = k*10 + int(c-'0')
+		}
+		fn := enclosingFunc(stack)
+		fns[k] = fn
+		chains[k] = containerChain(stack, fn)
+	})
+	return fns, chains
+}
+
+const flowProbeSrc = `package p
+
+func probe(int) {}
+
+func f(cond bool, xs []int) {
+	probe(0)
+	if cond {
+		probe(1)
+		for range xs {
+			probe(2)
+		}
+	} else {
+		probe(3)
+	}
+	switch {
+	case cond:
+		probe(4)
+	}
+	g := func() {
+		probe(5)
+	}
+	g()
+	probe(6)
+}
+`
+
+func TestContainerChain(t *testing.T) {
+	fns, chains := flowProbe(t, flowProbeSrc)
+
+	// Chain depth: function body = 1 container, each nested block adds one.
+	wantLen := map[int]int{
+		0: 1, // function body
+		1: 2, // body + if block
+		2: 3, // body + if block + for block
+		3: 2, // body + else block
+		4: 3, // body + the switch's block + case clause
+		5: 1, // the closure's own body only — its chain restarts at the FuncLit
+		6: 1,
+	}
+	for k, want := range wantLen {
+		if got := len(chains[k]); got != want {
+			t.Errorf("probe(%d): chain length = %d, want %d", k, got, want)
+		}
+	}
+
+	// The closure is its own scope; everything else shares f.
+	if fns[5] == fns[0] {
+		t.Errorf("probe(5) inside the closure reports the same scope as probe(0)")
+	}
+	for _, k := range []int{1, 2, 3, 4, 6} {
+		if fns[k] != fns[0] {
+			t.Errorf("probe(%d) does not share f's scope", k)
+		}
+	}
+}
+
+func TestChainCovers(t *testing.T) {
+	_, chains := flowProbe(t, flowProbeSrc)
+
+	cases := []struct {
+		name         string
+		outer, inner int
+		want         bool
+	}{
+		// A lock at the function top (probe 0) dominates everything in f.
+		{"top-dominates-if", 1, 0, true},
+		{"top-dominates-nested-for", 2, 0, true},
+		{"top-dominates-else", 3, 0, true},
+		{"top-dominates-case", 4, 0, true},
+		// A lock inside the if block proves nothing for the else branch or
+		// for code after the if.
+		{"if-not-else", 3, 1, false},
+		{"if-not-after", 6, 1, false},
+		// Deeper chains cover shallower prefixes, not vice versa.
+		{"for-covers-if", 2, 1, true},
+		{"if-not-for", 1, 2, false},
+		// Identical context covers itself.
+		{"self", 2, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := chainCovers(chains[tc.outer], chains[tc.inner]); got != tc.want {
+				t.Errorf("chainCovers(chain[%d], chain[%d]) = %v, want %v",
+					tc.outer, tc.inner, got, tc.want)
+			}
+		})
+	}
+}

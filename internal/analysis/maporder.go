@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder closes the loophole the determinism analyzer's structural checks
+// leave open: Go map iteration order is deliberately randomized, so any
+// value that flows from a `for k, v := range m` body straight into
+// something order-sensitive — a formatted report, an encoder, a canonical
+// key built by string concatenation — differs run to run. In this repo the
+// stakes are concrete: cmd/reproduce's byte-identical transcript and the
+// BPTRACE1 codec's canonical bytes are the reproducibility contract, and
+// one `fmt.Fprintf(w, ...)` inside a map range silently voids it.
+//
+// The rule: inside the body of a range over a map, calls to fmt printers
+// (Print/Printf/Println/Sprint.../Fprint...), io writer methods
+// (Write/WriteString/WriteByte/WriteRune/Encode), and `+=` string
+// accumulation using the range variables are reported. Appending to a
+// slice is deliberately not flagged — collect-and-sort is the sanctioned
+// pattern, and the sort restores a canonical order before anything is
+// emitted.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not flow into canonical keys, codec output, or stdout",
+	Run:  runMapOrder,
+}
+
+// mapOrderSinks are fmt package functions whose output order the program
+// can observe.
+var mapOrderSinks = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// mapOrderMethods are method names that emit bytes in call order.
+var mapOrderMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+func runMapOrder(pass *Pass) {
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || rng.X == nil {
+			return
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkMapRangeBody(pass, rng)
+	})
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	// The range variables; a sink must involve one of them (or anything,
+	// for emission sinks — the call order alone leaks the iteration order).
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+					if pn.Imported().Path() == "fmt" && mapOrderSinks[sel.Sel.Name] {
+						pass.Reportf(st.Pos(),
+							"fmt.%s inside a map range emits in nondeterministic iteration order; collect and sort first",
+							sel.Sel.Name)
+					}
+					return true
+				}
+			}
+			if mapOrderMethods[sel.Sel.Name] {
+				if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); isFunc {
+					pass.Reportf(st.Pos(),
+						"%s call inside a map range writes in nondeterministic iteration order; collect and sort first",
+						sel.Sel.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			if st.Tok != token.ADD_ASSIGN || len(st.Lhs) != 1 {
+				return true
+			}
+			lt, ok := pass.Info.Types[st.Lhs[0]]
+			if !ok {
+				return true
+			}
+			if basic, ok := lt.Type.Underlying().(*types.Basic); !ok || basic.Info()&types.IsString == 0 {
+				return true
+			}
+			if usesAnyOf(pass, st.Rhs[0], rangeVars) {
+				pass.Reportf(st.Pos(),
+					"string accumulation from map range variables builds a nondeterministic value; collect and sort first")
+			}
+		}
+		return true
+	})
+}
+
+// usesAnyOf reports whether expr references any of the given objects.
+func usesAnyOf(pass *Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,18 @@
+// Package fix is the known-bad fixture for the globalstate analyzer:
+// package-level vars mutated at runtime with no guard, no write-once
+// discipline and no allow.
+package fix
+
+var hits int // want "written after init"
+
+func bump() {
+	hits++
+}
+
+var mode = "fast" // want "written after init"
+
+func setMode(m string) { mode = m }
+
+var cache = map[string]int{} // want "written after init"
+
+func put(k string, v int) { cache[k] = v }

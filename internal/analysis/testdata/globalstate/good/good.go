@@ -1,0 +1,46 @@
+// Package fix is the known-good fixture for the globalstate analyzer: the
+// three sanctioned shapes — sync primitives, self-guarded singletons,
+// write-once tables — plus one documented allow.
+package fix
+
+import "sync"
+
+// shared is self-guarded: a struct carrying its own mutex, whose field
+// discipline lockguard polices.
+type store struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+var shared = &store{m: map[string]int{}}
+
+func put(k string, v int) {
+	shared.mu.Lock()
+	shared.m[k] = v
+	shared.mu.Unlock()
+}
+
+// names is write-once: populated at declaration and in init, read-only
+// afterwards.
+var names = map[int]string{0: "zero"}
+
+func init() {
+	names[1] = "one"
+}
+
+func name(i int) string { return names[i] }
+
+// Sync primitives and channels are the sharing mechanisms themselves.
+var (
+	mu     sync.Mutex
+	events = make(chan int, 8)
+)
+
+func lock()   { mu.Lock() }
+func unlock() { mu.Unlock() }
+func post()   { events <- 1 }
+
+// debugLevel is a documented waiver.
+var debugLevel int //bplint:allow globalstate fixture: test-only knob, single-goroutine
+
+func setDebug(l int) { debugLevel = l }

@@ -1,0 +1,38 @@
+// Package fix is the known-bad fixture for the maporder analyzer: map
+// iteration order flowing into formatted output, writer calls and
+// string-built canonical keys.
+package fix
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+func report(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v) // want "nondeterministic iteration order"
+	}
+	return b.String()
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k := range m {
+		w.Write([]byte(k)) // want "nondeterministic iteration order"
+	}
+}
+
+func key(parts map[string]string) string {
+	s := ""
+	for k, v := range parts {
+		s += k + "=" + v // want "nondeterministic value"
+	}
+	return s
+}
+
+func stdout(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "nondeterministic iteration order"
+	}
+}

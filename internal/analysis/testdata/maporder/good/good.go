@@ -1,0 +1,40 @@
+// Package fix is the known-good fixture for the maporder analyzer:
+// collect-and-sort before emission, order-insensitive arithmetic, plus one
+// documented allow.
+package fix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// report collects keys, sorts them, and only then formats: the sanctioned
+// pattern.
+func report(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%s=%d\n", k, m[k])
+	}
+	return s
+}
+
+// total is order-insensitive arithmetic, not an emission sink.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// progress logs inside the range, documented as order-indifferent.
+func progress(m map[string]int) {
+	for k := range m {
+		fmt.Println("done:", k) //bplint:allow maporder fixture: progress only, never in results
+	}
+}

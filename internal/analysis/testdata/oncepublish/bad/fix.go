@@ -1,0 +1,24 @@
+// Package fix is the known-bad fixture for the oncepublish analyzer: the
+// unsynchronized double-checked load and a write outside the Do body.
+package fix
+
+import "sync"
+
+type cell struct {
+	once sync.Once
+	res  *int
+}
+
+func (c *cell) getRacy(compute func() *int) *int {
+	if c.res != nil { // want "unsynchronized load"
+		return c.res // want "unsynchronized load"
+	}
+	c.once.Do(func() {
+		c.res = compute()
+	})
+	return c.res
+}
+
+func (c *cell) poke(v *int) {
+	c.res = v // want "written outside c.once.Do"
+}

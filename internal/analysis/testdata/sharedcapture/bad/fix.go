@@ -1,0 +1,31 @@
+// Package fix is the known-bad fixture for the sharedcapture analyzer:
+// go-launched closures sharing written captures with their parent with no
+// lock on either side.
+package fix
+
+import "sync"
+
+func tally(vals []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		v := v
+		wg.Add(1)
+		go func() {
+			total += v // want "not lock-dominated"
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	return total // want "not lock-dominated"
+}
+
+func race(done chan struct{}) {
+	best := 0
+	go func() {
+		if best < 10 { // want "not lock-dominated"
+			done <- struct{}{}
+		}
+	}()
+	best = 42 // want "not lock-dominated"
+}

@@ -1,0 +1,65 @@
+// Package fix is the known-good fixture for the sharedcapture analyzer:
+// the sanctioned sharing vocabulary — channels, sync primitives, function
+// values, read-only captures, lock-dominated accumulators — plus one
+// documented allow.
+package fix
+
+import "sync"
+
+// forEach is the worker-pool shape: every capture is a channel, a
+// WaitGroup, or a function value.
+func forEach(n int, fn func(int)) {
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// tally shares a written accumulator, but every access on both sides is
+// lock-dominated.
+func tally(vals []int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	t := total
+	mu.Unlock()
+	return t
+}
+
+// readOnly captures are effectively immutable after the launch.
+func readOnly(cfg string, out chan<- string) {
+	go func() {
+		out <- cfg
+	}()
+}
+
+func counter() {
+	n := 0
+	go func() {
+		n++ //bplint:allow sharedcapture fixture: demo of the escape hatch
+	}()
+}

@@ -1,6 +1,10 @@
 package pipeline
 
-// Result summarizes a timing run.
+// Result summarizes a timing run. The timing memo publishes one Result per
+// cell under a sync.Once and every later experiment reads that same value,
+// so it is frozen: built locally, then never written again.
+//
+//bplint:frozen
 type Result struct {
 	// Workload and predictor identify the run.
 	Workload  string

@@ -75,6 +75,11 @@ const (
 //
 // The equivalence suite (fastpath_test.go) checks the resulting Result is
 // bit-identical to live simulation across predictor organizations.
+//
+// Like the Recording it annotates, a built sidecar is shared read-only
+// across goroutines; the frozen analyzer proves no post-publication write.
+//
+//bplint:frozen
 type MemSidecar struct {
 	rec   *trace.Recording
 	geom  MemGeometry

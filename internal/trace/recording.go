@@ -12,6 +12,12 @@ package trace
 // only for control transfers, cutting memory roughly in half versus []Inst.
 // Replay reconstructs every Inst field bit-for-bit, which the equivalence
 // tests in internal/tracestore enforce against live generation.
+//
+// A Recording is shared by pointer across every experiment goroutine once
+// its constructor returns, and cursors replay it with no synchronization;
+// the frozen analyzer proves nothing writes it after publication.
+//
+//bplint:frozen
 type Recording struct {
 	name   string
 	chunks []chunk
@@ -38,6 +44,8 @@ const (
 // chunk is appended to — by Record and by the codec's read path alike, so
 // a decoded recording carries an identical index — and consumed by the
 // batch replay fast path (branch.go).
+//
+//bplint:frozen
 type chunk struct {
 	meta   []uint8
 	src1   []int8

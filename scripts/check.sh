@@ -19,8 +19,24 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> bplint ./... (all ten analyzers, flow-aware suite included)"
+echo "==> bplint ./... (all fifteen analyzers, concurrency suite included)"
 go run ./cmd/bplint ./...
+
+echo "==> bplint allow audit (every waiver carries a justification)"
+go run ./cmd/bplint -allows
+
+echo "==> BPTRACE1 codec fuzz smoke (10s round-trip/fixed-point search)"
+go test -run '^$' -fuzz FuzzCodecRoundTrip -fuzztime=10s ./internal/trace
+
+echo "==> concurrency certification: -race runtime twins of the static analyzers"
+# frozen: recordings are replayed concurrently with no synchronization —
+# sound only if nothing writes them after publication.
+go test -race -run 'TestConcurrentReplay|TestConcurrentBranchCursors' ./internal/tracestore ./internal/trace
+# oncepublish: memo cells are published under sync.Once and hammered from
+# many goroutines.
+go test -race -run 'TestTimingMemoConcurrentStress' ./internal/experiments
+# sharedcapture: the worker pool's captured shared state, lock-dominated.
+go test -race -run 'TestForEachSharedCaptureStress' ./internal/experiments
 
 echo "==> replay equivalence (live vs recorded streams, race-enabled)"
 go test -race -run 'TestReplayEquivalence|TestConcurrentReplay|TestClassifiedReplay' ./internal/tracestore
