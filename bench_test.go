@@ -10,6 +10,10 @@
 package branchsim_test
 
 import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"branchsim"
@@ -426,6 +430,137 @@ func BenchmarkTimingSweepSlow(b *testing.B) {
 			org := timingGridOrg(b, cell.kind, cell.mode)
 			timingSweepCell(b, branchsim.RunTiming(cfg, org, opaqueReplay{rec.Replay()}, timingSweepInsts, timingSweepWarmup))
 		}
+	}
+}
+
+// --- Cell store + scheduler benchmarks (scripts/bench.sh → BENCH_grid.json).
+// The same design-point column as the timing sweep above, but exercised
+// through the persistence and planner layers: a cold run simulates every
+// distinct cell and writes it back to a fresh result store; a warm run opens
+// a second store over the same directory (a second process's view — its
+// in-memory flight cache is empty, so every cell must come off disk) and
+// serves the whole column without simulating. The sharded/serial pair runs
+// the identical distinct-cell plan through the worker-pool scheduler at
+// GOMAXPROCS vs one worker. ---
+
+// gridDistinctCells is timingGridCells with the duplicates removed: the 7
+// distinct simulations behind the 19 grid visits (gshare.fast's organization
+// is mode-invariant, so it appears once).
+var gridDistinctCells = []struct {
+	kind string
+	mode branchsim.TimingMode
+}{
+	{"perceptron", branchsim.Ideal}, {"perceptron", branchsim.Realistic},
+	{"multicomponent", branchsim.Ideal}, {"multicomponent", branchsim.Realistic},
+	{"2bcgskew", branchsim.Ideal}, {"2bcgskew", branchsim.Realistic},
+	{"gshare.fast", branchsim.Ideal},
+}
+
+func gridOpts(store *branchsim.ResultStore) branchsim.ExperimentOptions {
+	return branchsim.ExperimentOptions{
+		Insts:    timingSweepInsts,
+		Warmup:   timingSweepWarmup,
+		Parallel: 1,
+		Store:    store,
+	}
+}
+
+// runGridColumn runs the distinct-cell column through a fresh memo, so every
+// cell reaches the store (or the simulator) rather than the in-memory tier.
+func runGridColumn(b *testing.B, bench branchsim.Benchmark, opts branchsim.ExperimentOptions) {
+	b.Helper()
+	memo := branchsim.NewTimingMemo()
+	for _, cell := range gridDistinctCells {
+		timingSweepCell(b, memo.Cell(cell.kind, timingSweepBudget, cell.mode, bench, opts))
+	}
+}
+
+// BenchmarkGridColdStore measures the cold cost cmd/reproduce pays on a
+// first run: every cell fully simulated plus written back to a brand-new
+// store directory. The trace store and memory sidecar are warmed in setup,
+// as across a real grid.
+func BenchmarkGridColdStore(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	branchsim.NewTimingMemo().Cell("gshare", timingSweepBudget, branchsim.Ideal, bench, gridOpts(nil))
+	root := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := branchsim.OpenResultStore(filepath.Join(root, strconv.Itoa(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		runGridColumn(b, bench, gridOpts(st))
+	}
+}
+
+// BenchmarkGridWarmStore measures the warm cost of the same column: the
+// store is populated once in setup, and each iteration opens a fresh Store
+// over that directory and serves every cell from disk — no cell simulates.
+// The ratio of BenchmarkGridColdStore to this is the warm_speedup gate of
+// BENCH_grid.json.
+func BenchmarkGridWarmStore(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	dir := b.TempDir()
+	st0, err := branchsim.OpenResultStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runGridColumn(b, bench, gridOpts(st0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := branchsim.OpenResultStore(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runGridColumn(b, bench, gridOpts(st))
+		if s := st.Stats(); s.Misses != 0 || s.Invalidations != 0 {
+			b.Fatalf("warm iteration simulated: %+v", s)
+		}
+	}
+}
+
+// runGridPlan runs the distinct-cell column as the planner layer does: each
+// cell a PlannedCell executed by the worker-pool scheduler. A fresh memo per
+// call keeps every cell a real simulation.
+func runGridPlan(b *testing.B, bench branchsim.Benchmark, parallel int) {
+	memo := branchsim.NewTimingMemo()
+	opts := gridOpts(nil)
+	cells := make([]branchsim.PlannedCell, 0, len(gridDistinctCells))
+	for _, cell := range gridDistinctCells {
+		cells = append(cells, branchsim.PlannedCell{
+			Key: fmt.Sprintf("timing|kind=%s|org=%d|budget=%d|bench=%s", cell.kind, cell.mode, timingSweepBudget, bench.Name),
+			Run: func() {
+				// b.Fatal must not run on a worker goroutine; Error is safe.
+				if res := memo.Cell(cell.kind, timingSweepBudget, cell.mode, bench, opts); res.Insts == 0 || res.Cycles == 0 {
+					b.Error("degenerate timing cell: no measured instructions")
+				}
+			},
+		})
+	}
+	branchsim.RunCells(parallel, cells)
+}
+
+// BenchmarkGridSharded runs the distinct-cell plan on the worker-pool
+// scheduler at GOMAXPROCS workers — how cmd/reproduce shards a grid.
+func BenchmarkGridSharded(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	branchsim.NewTimingMemo().Cell("gshare", timingSweepBudget, branchsim.Ideal, bench, gridOpts(nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runGridPlan(b, bench, runtime.GOMAXPROCS(0))
+	}
+}
+
+// BenchmarkGridSerial is the identical plan on one worker. On a multi-core
+// machine sharded/serial is the scheduler's speedup; on one core the gate
+// degrades to no-regression (scripts/bench.sh picks the bound by core
+// count).
+func BenchmarkGridSerial(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	branchsim.NewTimingMemo().Cell("gshare", timingSweepBudget, branchsim.Ideal, bench, gridOpts(nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runGridPlan(b, bench, 1)
 	}
 }
 

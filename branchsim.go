@@ -30,6 +30,7 @@ import (
 	"branchsim/internal/funcsim"
 	"branchsim/internal/pipeline"
 	"branchsim/internal/predictor"
+	"branchsim/internal/resultstore"
 	"branchsim/internal/trace"
 	"branchsim/internal/workload"
 )
@@ -256,6 +257,39 @@ type TimingMemo = experiments.TimingMemo
 // memoized grid-cell primitive: recorded stream and memory sidecar from the
 // process-wide trace store, batched replay, Result cached in the memo.
 func NewTimingMemo() *TimingMemo { return experiments.NewTimingMemo() }
+
+// AccuracyMemo is the timing memo's functional-simulation sibling:
+// accuracy Results memoized by canonical cell key.
+type AccuracyMemo = experiments.AccuracyMemo
+
+// NewAccuracyMemo returns an empty accuracy memo.
+func NewAccuracyMemo() *AccuracyMemo { return experiments.NewAccuracyMemo() }
+
+// ResultStore is the persistent tier beneath the memos: a disk-backed,
+// content-addressed store of cell results, keyed by the full canonical
+// cell identity including the recorded stream's content digest
+// (Recording.Digest). Set ExperimentOptions.Store to thread one through an
+// experiment run; store-served cells are bit-identical to fresh
+// simulation, so stdout stays byte-for-byte reproducible warm or cold.
+type ResultStore = resultstore.Store
+
+// ResultStoreStats counts a store's traffic: cells served from disk,
+// computed cold, recomputed after invalidation, and written back.
+type ResultStoreStats = resultstore.Stats
+
+// OpenResultStore opens (creating if needed) a persistent result store
+// rooted at dir.
+func OpenResultStore(dir string) (*ResultStore, error) { return resultstore.Open(dir) }
+
+// PlannedCell is one schedulable unit of an experiment grid: a canonical
+// key and the closure that computes it.
+type PlannedCell = experiments.PlannedCell
+
+// RunCells executes planned cells on a worker pool of at most parallel
+// goroutines — the scheduler the experiment grids shard their distinct
+// cells through. A panic inside any cell is re-raised carrying that cell's
+// canonical key.
+func RunCells(parallel int, cells []PlannedCell) { experiments.RunCells(parallel, cells) }
 
 // ExperimentOptions configures experiment runs.
 type ExperimentOptions = experiments.Options

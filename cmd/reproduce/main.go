@@ -9,7 +9,11 @@
 //	reproduce -list
 //
 // Stdout is byte-for-byte reproducible for a given configuration: wall-clock
-// progress lines only appear with -timings, and go to stderr.
+// progress lines only appear with -timings, and go to stderr. The result
+// store (-store) does not change stdout either — store-served cells are
+// bit-identical to fresh simulation — it only makes reruns incremental: a
+// second run serves every cell from disk, and a config tweak recomputes
+// only the cells whose canonical identity changed.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"branchsim/internal/experiments"
 	"branchsim/internal/prof"
 	"branchsim/internal/results"
+	"branchsim/internal/resultstore"
 )
 
 func main() {
@@ -34,6 +39,8 @@ func main() {
 		jsonPath   = flag.String("json", "", "also write results as JSON to this path (for cmd/compare)")
 		label      = flag.String("label", "", "label stored in the JSON results")
 		timings    = flag.Bool("timings", false, "print per-experiment wall-clock timings to stderr")
+		storeDir   = flag.String("store", ".resultstore", "persistent result-store directory (cells served from and written back to disk)")
+		nostore    = flag.Bool("nostore", false, "disable the persistent result store; every cell simulates in-process")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this path")
 	)
@@ -53,7 +60,16 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Insts: *insts, Warmup: *warmup, Parallel: *parallel}
+	var store *resultstore.Store
+	if !*nostore && *storeDir != "" {
+		store, err = resultstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	opts := experiments.Options{Insts: *insts, Warmup: *warmup, Parallel: *parallel, Store: store}
 	ids := experiments.IDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
@@ -85,6 +101,14 @@ func main() {
 		cells, hits := experiments.TimingMemoStats()
 		fmt.Fprintf(os.Stderr, "(timing memo: %d distinct cells simulated, %d duplicate cells served from memory)\n",
 			cells, hits)
+		acells, ahits := experiments.AccuracyMemoStats()
+		fmt.Fprintf(os.Stderr, "(accuracy memo: %d distinct cells simulated, %d duplicate cells served from memory)\n",
+			acells, ahits)
+		if store != nil {
+			s := store.Stats()
+			fmt.Fprintf(os.Stderr, "(result store: %d cells served from disk, %d cold cells computed, %d invalid entries recomputed; %d cells written back, %d write errors)\n",
+				s.Hits, s.Misses, s.Invalidations, s.Writes, s.WriteErrors)
+		}
 	}
 	if *jsonPath != "" {
 		if err := file.Save(*jsonPath); err != nil {

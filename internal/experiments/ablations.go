@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
 	"branchsim/internal/core"
 	"branchsim/internal/delaymodel"
@@ -36,36 +35,39 @@ func DelayedUpdate(opts Options) *Outcome {
 		})
 	}
 
-	mr := make([][]float64, len(lags))
-	ipc := make([][]float64, len(lags))
-	for i := range lags {
-		mr[i] = make([]float64, 1)
-		ipc[i] = make([]float64, 1)
+	mr := make([][]float64, len(lags))  // [lag][benchmark] mispredict %
+	ipc := make([][]float64, len(lags)) // [lag][benchmark] IPC
+	var plan cellPlan
+	for i, lag := range lags {
+		mr[i] = make([]float64, len(profiles))
+		ipc[i] = make([]float64, len(profiles))
+		// lag=0 constructs the stock gshare.fast, so its cells are the
+		// canonical factory ones (the timing cell is the "ideal" one shared
+		// with Figures 2/7 at this budget); lagged variants get their own
+		// memo organizations.
+		accOrg, timOrg := "", "ideal"
+		if lag > 0 {
+			accOrg = fmt.Sprintf("lag%d", lag)
+			timOrg = accOrg
+		}
+		for pi, prof := range profiles {
+			plan.add(planKey("accuracy", "gshare.fast", accOrg, budget, prof.Name), func() {
+				mr[i][pi] = accuracyCell("gshare.fast", accOrg, budget,
+					func() predictor.Predictor { return makePred(lag) }, prof, opts)
+			})
+			plan.add(planKey("timing", "gshare.fast", timOrg, budget, prof.Name), func() {
+				ipc[i][pi] = cellCustom(pipeline.DefaultConfig(), "gshare.fast", timOrg, budget,
+					func() predictor.Predictor { return makePred(lag) }, prof, opts).IPC()
+			})
+		}
 	}
-	forEach(len(lags), opts.Parallel, func(i int) {
-		// lag=0 constructs the stock gshare.fast, so its timing cell is
-		// the canonical "ideal" one (shared with Figures 2/7 at this
-		// budget); lagged variants get their own memo organization.
-		org := "ideal"
-		if lags[i] > 0 {
-			org = fmt.Sprintf("lag%d", lags[i])
-		}
-		var rates, ipcs []float64
-		for _, prof := range profiles {
-			rates = append(rates, accuracyRun(func() predictor.Predictor { return makePred(lags[i]) }, prof, opts))
-			res := cellCustom(pipeline.DefaultConfig(), "gshare.fast", org, budget,
-				func() predictor.Predictor { return makePred(lags[i]) }, prof, opts)
-			ipcs = append(ipcs, res.IPC())
-		}
-		mr[i][0] = stats.Mean(rates)
-		ipc[i][0] = stats.HarmonicMean(ipcs)
-	})
+	plan.execute(opts.Parallel)
 
 	rows := make([]string, len(lags))
 	values := make([][]float64, len(lags))
 	for i, lag := range lags {
 		rows[i] = fmt.Sprintf("lag=%d", lag)
-		values[i] = []float64{mr[i][0], ipc[i][0]}
+		values[i] = []float64{stats.Mean(mr[i]), stats.HarmonicMean(ipc[i])}
 	}
 	t := &textplot.Table{
 		Title:     "Delayed PHT update at 256KB (gshare.fast)",
@@ -97,18 +99,15 @@ func OverrideRate(opts Options) *Outcome {
 	for i := range values {
 		values[i] = make([]float64, len(kinds))
 	}
-	type job struct{ pi, ki int }
-	var jobs []job
-	for pi := range profiles {
-		for ki := range kinds {
-			jobs = append(jobs, job{pi, ki})
+	var plan cellPlan
+	for pi, prof := range profiles {
+		for ki, kind := range kinds {
+			plan.add(planKey("timing", kind, timingOrg(kind, Realistic), budget, prof.Name), func() {
+				values[pi][ki] = 100 * Cell(kind, budget, Realistic, prof, opts).OverrideRate
+			})
 		}
 	}
-	forEach(len(jobs), opts.Parallel, func(n int) {
-		j := jobs[n]
-		res := Cell(kinds[j.ki], budget, Realistic, profiles[j.pi], opts)
-		values[j.pi][j.ki] = 100 * res.OverrideRate
-	})
+	plan.execute(opts.Parallel)
 	for ki := range kinds {
 		col := make([]float64, len(profiles))
 		for pi := range profiles {
@@ -142,31 +141,37 @@ func MultiBranch(opts Options) *Outcome {
 	const budget = 64 << 10
 	widths := []int{1, 2, 4, 8}
 	profiles := workload.Profiles()
-	values := make([][]float64, len(widths))
-	for i := range values {
-		values[i] = make([]float64, 3)
-		for j := range values[i] {
-			values[i][j] = math.NaN()
+	grid := make([][]float64, len(widths)) // [width][benchmark] mispredict %
+	var plan cellPlan
+	for i, w := range widths {
+		grid[i] = make([]float64, len(profiles))
+		// The block simulation's shape beyond the window is part of the
+		// cell identity (funcsim.RunBlocks vs Run, fetch width, block
+		// branches), carried in the key's sim component.
+		sim := fmt.Sprintf("blocks.fw8.bb%d", w)
+		for pi, prof := range profiles {
+			plan.add(planKey("accuracy", "gshare.fast", "", budget, prof.Name, sim), func() {
+				res := accuracyMemo.cell("gshare.fast", "", sim, budget, prof, opts, func() funcsim.Result {
+					g := NewGShareFast(budget)
+					return funcsim.RunBlocks(g, g.Name(), source(prof, opts), funcsim.Options{
+						MaxInsts:      opts.Insts,
+						WarmupInsts:   opts.Warmup,
+						FetchWidth:    8,
+						BlockBranches: w,
+					})
+				})
+				grid[i][pi] = res.MispredictPercent()
+			})
 		}
 	}
-	forEach(len(widths), opts.Parallel, func(i int) {
-		w := widths[i]
-		var rates []float64
-		var bufEntries, sizeBytes int
-		for _, prof := range profiles {
-			g := NewGShareFast(budget)
-			bufEntries = g.BlockBufferEntries(w)
-			sizeBytes = g.BlockSizeBytes(w)
-			res := funcsim.RunBlocks(g, g.Name(), source(prof, opts), funcsim.Options{
-				MaxInsts:      opts.Insts,
-				WarmupInsts:   opts.Warmup,
-				FetchWidth:    8,
-				BlockBranches: w,
-			})
-			rates = append(rates, res.MispredictPercent())
-		}
-		values[i] = []float64{stats.Mean(rates), float64(bufEntries), float64(sizeBytes)}
-	})
+	plan.execute(opts.Parallel)
+	values := make([][]float64, len(widths))
+	for i, w := range widths {
+		// Buffer sizing is arithmetic on the construction, not a
+		// simulation; derive it directly rather than planning cells for it.
+		g := NewGShareFast(budget)
+		values[i] = []float64{stats.Mean(grid[i]), float64(g.BlockBufferEntries(w)), float64(g.BlockSizeBytes(w))}
+	}
 	rows := make([]string, len(widths))
 	for i, w := range widths {
 		rows[i] = fmt.Sprintf("b=%d", w)
@@ -197,24 +202,32 @@ func BufferSweep(opts Options) *Outcome {
 	const budget = 256 << 10
 	bufBits := []uint{3, 6, 9, 12, 15}
 	profiles := workload.Profiles()
+	grid := make([][]float64, len(bufBits)) // [bufferBits][benchmark]
+	var plan cellPlan
+	for i, bits := range bufBits {
+		grid[i] = make([]float64, len(profiles))
+		org := fmt.Sprintf("buf%d", bits)
+		for pi, prof := range profiles {
+			plan.add(planKey("accuracy", "gshare.fast", org, budget, prof.Name), func() {
+				grid[i][pi] = accuracyCell("gshare.fast", org, budget, func() predictor.Predictor {
+					entries := 4
+					for entries*2*2/8 <= budget {
+						entries *= 2
+					}
+					return core.New(core.Config{
+						Entries:    entries,
+						Latency:    delaymodel.Default.PHTReadCycles(entries),
+						BufferBits: bits,
+					})
+				}, prof, opts)
+			})
+		}
+	}
+	plan.execute(opts.Parallel)
 	values := make([][]float64, len(bufBits))
-	forEach(len(bufBits), opts.Parallel, func(i int) {
-		entries := 4
-		for entries*2*2/8 <= budget {
-			entries *= 2
-		}
-		var rates []float64
-		for _, prof := range profiles {
-			rates = append(rates, accuracyRun(func() predictor.Predictor {
-				return core.New(core.Config{
-					Entries:    entries,
-					Latency:    delaymodel.Default.PHTReadCycles(entries),
-					BufferBits: bufBits[i],
-				})
-			}, prof, opts))
-		}
-		values[i] = []float64{stats.Mean(rates)}
-	})
+	for i := range bufBits {
+		values[i] = []float64{stats.Mean(grid[i])}
+	}
 	rows := make([]string, len(bufBits))
 	for i, b := range bufBits {
 		rows[i] = fmt.Sprintf("%d bits", b)
@@ -244,28 +257,37 @@ func QuickSizeSweep(opts Options) *Outcome {
 	const budget = 256 << 10
 	sizes := []int{256, 1024, 2048, 8192}
 	profiles := workload.Profiles()
-	values := make([][]float64, len(sizes))
-	forEach(len(sizes), opts.Parallel, func(i int) {
-		// The QuickEntries row constructs exactly the standard
-		// overriding organization, so it shares the canonical
-		// "override" cells with the figures at this budget.
+	ipcs := make([][]float64, len(sizes))      // [size][benchmark]
+	overrides := make([][]float64, len(sizes)) // [size][benchmark]
+	var plan cellPlan
+	for i, size := range sizes {
+		ipcs[i] = make([]float64, len(profiles))
+		overrides[i] = make([]float64, len(profiles))
+		// The QuickEntries row constructs exactly the standard overriding
+		// organization, so it shares the canonical "override" cells with
+		// the figures at this budget.
 		org := "override"
-		if sizes[i] != QuickEntries {
-			org = fmt.Sprintf("override.q%d", sizes[i])
+		if size != QuickEntries {
+			org = fmt.Sprintf("override.q%d", size)
 		}
-		var ipcs, overrides []float64
-		for _, prof := range profiles {
-			res := cellCustom(pipeline.DefaultConfig(), "perceptron", org, budget,
-				func() predictor.Predictor {
-					slow := mustPredictor("perceptron", budget)
-					lat := delaymodel.Default.ForPredictor(slow)
-					return core.NewOverriding(predictor.NewGShare(sizes[i], 0), slow, lat)
-				}, prof, opts)
-			ipcs = append(ipcs, res.IPC())
-			overrides = append(overrides, 100*res.OverrideRate)
+		for pi, prof := range profiles {
+			plan.add(planKey("timing", "perceptron", org, budget, prof.Name), func() {
+				res := cellCustom(pipeline.DefaultConfig(), "perceptron", org, budget,
+					func() predictor.Predictor {
+						slow := mustPredictor("perceptron", budget)
+						lat := delaymodel.Default.ForPredictor(slow)
+						return core.NewOverriding(predictor.NewGShare(size, 0), slow, lat)
+					}, prof, opts)
+				ipcs[i][pi] = res.IPC()
+				overrides[i][pi] = 100 * res.OverrideRate
+			})
 		}
-		values[i] = []float64{stats.HarmonicMean(ipcs), stats.Mean(overrides)}
-	})
+	}
+	plan.execute(opts.Parallel)
+	values := make([][]float64, len(sizes))
+	for i := range sizes {
+		values[i] = []float64{stats.HarmonicMean(ipcs[i]), stats.Mean(overrides[i])}
+	}
 	rows := make([]string, len(sizes))
 	for i, s := range sizes {
 		rows[i] = fmt.Sprintf("%d entries", s)
@@ -295,23 +317,35 @@ func DepthSweep(opts Options) *Outcome {
 	depths := []int{10, 20, 30, 40}
 	const budget = 256 << 10
 	profiles := workload.Profiles()
-	values := make([][]float64, len(depths))
-	forEach(len(depths), opts.Parallel, func(i int) {
+	fast := make([][]float64, len(depths)) // [depth][benchmark]
+	over := make([][]float64, len(depths)) // [depth][benchmark]
+	var plan cellPlan
+	for i, depth := range depths {
+		fast[i] = make([]float64, len(profiles))
+		over[i] = make([]float64, len(profiles))
 		cfg := pipeline.DefaultConfig()
-		cfg.PipelineDepth = depths[i]
-		cfg.FrontEndDepth = depths[i] / 2
-		// The depth-20 row's canonical config equals the Table 1
-		// machine's, so both of its columns are figure cells at this
-		// budget; other depths get distinct config keys.
-		var fast, over []float64
-		for _, prof := range profiles {
-			fast = append(fast, cellCustom(cfg, "gshare.fast", "ideal", budget,
-				func() predictor.Predictor { return NewGShareFast(budget) }, prof, opts).IPC())
-			over = append(over, cellCustom(cfg, "perceptron", "override", budget,
-				func() predictor.Predictor { return mustOverriding("perceptron", budget) }, prof, opts).IPC())
+		cfg.PipelineDepth = depth
+		cfg.FrontEndDepth = depth / 2
+		// The depth-20 row's canonical config equals the Table 1 machine's,
+		// so both of its columns are figure cells at this budget; other
+		// depths get distinct config keys.
+		machine := fmt.Sprintf("depth=%d", depth)
+		for pi, prof := range profiles {
+			plan.add(planKey("timing", "gshare.fast", "ideal", budget, prof.Name, machine), func() {
+				fast[i][pi] = cellCustom(cfg, "gshare.fast", "ideal", budget,
+					func() predictor.Predictor { return NewGShareFast(budget) }, prof, opts).IPC()
+			})
+			plan.add(planKey("timing", "perceptron", "override", budget, prof.Name, machine), func() {
+				over[i][pi] = cellCustom(cfg, "perceptron", "override", budget,
+					func() predictor.Predictor { return mustOverriding("perceptron", budget) }, prof, opts).IPC()
+			})
 		}
-		values[i] = []float64{stats.HarmonicMean(fast), stats.HarmonicMean(over)}
-	})
+	}
+	plan.execute(opts.Parallel)
+	values := make([][]float64, len(depths))
+	for i := range depths {
+		values[i] = []float64{stats.HarmonicMean(fast[i]), stats.HarmonicMean(over[i])}
+	}
 	rows := make([]string, len(depths))
 	for i, d := range depths {
 		rows[i] = fmt.Sprintf("depth=%d", d)
@@ -343,28 +377,34 @@ func FastFamily(opts Options) *Outcome {
 	const budget = 256 << 10
 	rows := []string{"gshare.fast", "bimode.fast", "perceptron(override)", "multicomponent(override)", "2bcgskew(override)"}
 	profiles := workload.Profiles()
-	values := make([][]float64, len(rows))
 	// Each row's timing cell is canonical: the pipelined predictors are
 	// exactly their factory ("ideal") organizations and the rest are the
 	// standard overriding ones, so all five columns share memo entries
 	// with the figures at this budget.
 	cellKinds := []string{"gshare.fast", "bimode.fast", "perceptron", "multicomponent", "2bcgskew"}
 	cellModes := []TimingMode{Ideal, Ideal, Realistic, Realistic, Realistic}
-	accBuilders := []func() predictor.Predictor{
-		func() predictor.Predictor { return NewGShareFast(budget) },
-		func() predictor.Predictor { return NewBiModeFast(budget) },
-		func() predictor.Predictor { p, _ := NewPredictor("perceptron", budget); return p },
-		func() predictor.Predictor { p, _ := NewPredictor("multicomponent", budget); return p },
-		func() predictor.Predictor { p, _ := NewPredictor("2bcgskew", budget); return p },
-	}
-	forEach(len(rows), opts.Parallel, func(i int) {
-		var rates, ipcs []float64
-		for _, prof := range profiles {
-			rates = append(rates, accuracyRun(accBuilders[i], prof, opts))
-			ipcs = append(ipcs, Cell(cellKinds[i], budget, cellModes[i], prof, opts).IPC())
+	rates := make([][]float64, len(rows)) // [organization][benchmark]
+	ipcs := make([][]float64, len(rows))  // [organization][benchmark]
+	var plan cellPlan
+	for i := range rows {
+		rates[i] = make([]float64, len(profiles))
+		ipcs[i] = make([]float64, len(profiles))
+		kind, mode := cellKinds[i], cellModes[i]
+		for pi, prof := range profiles {
+			plan.add(planKey("accuracy", kind, "", budget, prof.Name), func() {
+				rates[i][pi] = accuracyCell(kind, "", budget,
+					func() predictor.Predictor { return mustPredictor(kind, budget) }, prof, opts)
+			})
+			plan.add(planKey("timing", kind, timingOrg(kind, mode), budget, prof.Name), func() {
+				ipcs[i][pi] = Cell(kind, budget, mode, prof, opts).IPC()
+			})
 		}
-		values[i] = []float64{stats.Mean(rates), stats.HarmonicMean(ipcs)}
-	})
+	}
+	plan.execute(opts.Parallel)
+	values := make([][]float64, len(rows))
+	for i := range rows {
+		values[i] = []float64{stats.Mean(rates[i]), stats.HarmonicMean(ipcs[i])}
+	}
 	t := &textplot.Table{
 		Title:     "Pipelined predictor family vs overriding complex predictors at 256KB",
 		RowHeader: "organization",
@@ -390,21 +430,32 @@ func Recovery(opts Options) *Outcome {
 	opts = opts.normalize()
 	budgets := []int{64 << 10, 256 << 10, 512 << 10}
 	profiles := workload.Profiles()
-	values := make([][]float64, len(budgets))
-	forEach(len(budgets), opts.Parallel, func(i int) {
+	with := make([][]float64, len(budgets))    // [budget][benchmark]
+	without := make([][]float64, len(budgets)) // [budget][benchmark]
+	var plan cellPlan
+	for i, budget := range budgets {
+		with[i] = make([]float64, len(profiles))
+		without[i] = make([]float64, len(profiles))
 		// The checkpointed column is the stock gshare.fast — the same
 		// "ideal" cells the figures sweep — while the uncheckpointed
 		// wrapper is its own memo organization.
-		var with, without []float64
-		for _, prof := range profiles {
-			with = append(with, Cell("gshare.fast", budgets[i], Ideal, prof, opts).IPC())
-			without = append(without, cellCustom(pipeline.DefaultConfig(), "gshare.fast", "nockpt", budgets[i],
-				func() predictor.Predictor {
-					return core.WithoutCheckpointing(NewGShareFast(budgets[i]))
-				}, prof, opts).IPC())
+		for pi, prof := range profiles {
+			plan.add(planKey("timing", "gshare.fast", "ideal", budget, prof.Name), func() {
+				with[i][pi] = Cell("gshare.fast", budget, Ideal, prof, opts).IPC()
+			})
+			plan.add(planKey("timing", "gshare.fast", "nockpt", budget, prof.Name), func() {
+				without[i][pi] = cellCustom(pipeline.DefaultConfig(), "gshare.fast", "nockpt", budget,
+					func() predictor.Predictor {
+						return core.WithoutCheckpointing(NewGShareFast(budget))
+					}, prof, opts).IPC()
+			})
 		}
-		values[i] = []float64{stats.HarmonicMean(with), stats.HarmonicMean(without)}
-	})
+	}
+	plan.execute(opts.Parallel)
+	values := make([][]float64, len(budgets))
+	for i := range budgets {
+		values[i] = []float64{stats.HarmonicMean(with[i]), stats.HarmonicMean(without[i])}
+	}
 	rows := make([]string, len(budgets))
 	for i, b := range budgets {
 		rows[i] = budgetLabel(b)

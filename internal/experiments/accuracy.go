@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"math"
-
 	"branchsim/internal/predictor"
 	"branchsim/internal/stats"
 	"branchsim/internal/textplot"
@@ -10,34 +8,35 @@ import (
 )
 
 // mispredictSweep measures arithmetic-mean misprediction rates for each
-// (kind, budget) pair over the full benchmark suite.
+// (kind, budget) pair over the full benchmark suite. The plan's cells are
+// the distinct (kind, budget, benchmark) simulations — the scheduler
+// shards those, and the mean is reduced after the plan completes.
 func mispredictSweep(kinds []string, budgets []int, opts Options) *textplot.Table {
 	opts = opts.normalize()
 	profiles := workload.Profiles()
+	grid := make([][][]float64, len(budgets)) // [budget][kind][benchmark]
+	var plan cellPlan
+	for bi, budget := range budgets {
+		grid[bi] = make([][]float64, len(kinds))
+		for ki, kind := range kinds {
+			grid[bi][ki] = make([]float64, len(profiles))
+			for pi, prof := range profiles {
+				plan.add(planKey("accuracy", kind, "", budget, prof.Name), func() {
+					grid[bi][ki][pi] = accuracyCell(kind, "", budget, func() predictor.Predictor {
+						return mustPredictor(kind, budget)
+					}, prof, opts)
+				})
+			}
+		}
+	}
+	plan.execute(opts.Parallel)
 	values := make([][]float64, len(budgets))
-	for i := range values {
-		values[i] = make([]float64, len(kinds))
-		for j := range values[i] {
-			values[i][j] = math.NaN()
-		}
-	}
-	type job struct{ bi, ki int }
-	var jobs []job
 	for bi := range budgets {
+		values[bi] = make([]float64, len(kinds))
 		for ki := range kinds {
-			jobs = append(jobs, job{bi, ki})
+			values[bi][ki] = stats.Mean(grid[bi][ki])
 		}
 	}
-	forEach(len(jobs), opts.Parallel, func(n int) {
-		j := jobs[n]
-		rates := make([]float64, 0, len(profiles))
-		for _, prof := range profiles {
-			rates = append(rates, accuracyRun(func() predictor.Predictor {
-				return mustPredictor(kinds[j.ki], budgets[j.bi])
-			}, prof, opts))
-		}
-		values[j.bi][j.ki] = stats.Mean(rates)
-	})
 
 	rows := make([]string, len(budgets))
 	for i, b := range budgets {
@@ -100,19 +99,17 @@ func Figure6(opts Options) *Outcome {
 	for i := range values {
 		values[i] = make([]float64, len(kinds))
 	}
-	type job struct{ pi, ki int }
-	var jobs []job
-	for pi := range profiles {
-		for ki := range kinds {
-			jobs = append(jobs, job{pi, ki})
+	var plan cellPlan
+	for pi, prof := range profiles {
+		for ki, kind := range kinds {
+			plan.add(planKey("accuracy", kind, "", budget, prof.Name), func() {
+				values[pi][ki] = accuracyCell(kind, "", budget, func() predictor.Predictor {
+					return mustPredictor(kind, budget)
+				}, prof, opts)
+			})
 		}
 	}
-	forEach(len(jobs), opts.Parallel, func(n int) {
-		j := jobs[n]
-		values[j.pi][j.ki] = accuracyRun(func() predictor.Predictor {
-			return mustPredictor(kinds[j.ki], budget)
-		}, profiles[j.pi], opts)
-	})
+	plan.execute(opts.Parallel)
 	for ki := range kinds {
 		col := make([]float64, len(profiles))
 		for pi := range profiles {

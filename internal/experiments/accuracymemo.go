@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"sync"
+
+	"branchsim/internal/funcsim"
+	"branchsim/internal/predictor"
+	"branchsim/internal/resultstore"
+	"branchsim/internal/workload"
+)
+
+// accuracyKey canonically identifies one functional-simulation cell, the
+// accuracy counterpart of timingKey. Two cells with equal keys construct
+// identical predictors and drive them with identical options over the same
+// recorded stream, so their Results are interchangeable. org disambiguates
+// non-factory constructions ("" is the stock factory predictor for kind;
+// the ablations use "lag64", "buf9", ...); sim disambiguates simulator
+// shapes beyond the window ("" is the standard funcsim.Run,
+// "blocks.fw8.bb4" the block-prediction path).
+type accuracyKey struct {
+	kind   string
+	org    string
+	budget int
+	bench  string
+	seed   uint64
+	insts  int64
+	warmup int64
+	sim    string
+}
+
+// storeKey widens the in-memory key into the persistent store's
+// cross-process form, binding it to the recorded stream's content digest.
+func (k accuracyKey) storeKey(traceDigest string) resultstore.Key {
+	return resultstore.Key{
+		Family: "accuracy",
+		Kind:   k.kind,
+		Org:    k.org,
+		Budget: k.budget,
+		Bench:  k.bench,
+		Seed:   k.seed,
+		Insts:  k.insts,
+		Warmup: k.warmup,
+		// Machine stays "": accuracy cells simulate no timing machine.
+		SimOptions: k.sim,
+		Trace:      traceDigest,
+	}
+}
+
+// accuracyEntry serializes one cell's computation, exactly like
+// timingEntry.
+type accuracyEntry struct {
+	once sync.Once
+	// res is written inside once.Do and read only after Do returns; the
+	// sync.Once serializes it, not AccuracyMemo.mu, so it deliberately has
+	// no lockguard annotation.
+	res funcsim.Result
+}
+
+// AccuracyMemo memoizes functional-simulation Results by canonical cell
+// key, the accuracy sibling of TimingMemo: cells duplicated across grids —
+// Figure 6's 64 KB points repeat Figure 5's sweep; the fast-family study
+// revisits the sweeps at 256 KB — are simulated once per process, and when
+// Options.Store is set each distinct cell resolves through the persistent
+// store before simulating.
+type AccuracyMemo struct {
+	mu      sync.Mutex
+	entries map[accuracyKey]*accuracyEntry // guarded by mu
+	hits    int64                          // guarded by mu
+}
+
+// NewAccuracyMemo returns an empty memo.
+func NewAccuracyMemo() *AccuracyMemo {
+	return &AccuracyMemo{entries: make(map[accuracyKey]*accuracyEntry)}
+}
+
+// accuracyMemo is the process-wide memo, sibling to timingMemo.
+var accuracyMemo = NewAccuracyMemo()
+
+// AccuracyMemoStats reports the process-wide accuracy memo's footprint:
+// distinct cells simulated and duplicate lookups served from memory.
+func AccuracyMemoStats() (cells int, hits int64) {
+	accuracyMemo.mu.Lock()
+	defer accuracyMemo.mu.Unlock()
+	return len(accuracyMemo.entries), accuracyMemo.hits
+}
+
+// result returns the memoized Result for key, calling compute on first
+// use.
+func (m *AccuracyMemo) result(key accuracyKey, compute func() funcsim.Result) funcsim.Result {
+	m.mu.Lock()
+	e := m.entries[key]
+	if e == nil {
+		e = &accuracyEntry{}
+		m.entries[key] = e
+	} else {
+		m.hits++
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.res = compute() })
+	return e.res
+}
+
+// cell returns the accuracy Result for the canonical (kind, org, budget,
+// sim) cell on prof's recorded stream, memoized in m and — when opts.Store
+// is set — in the persistent store. Callers must ensure equal keys always
+// denote identical constructions; both memo tiers trade on that.
+func (m *AccuracyMemo) cell(kind, org, sim string, budget int, prof workload.Profile, opts Options, compute func() funcsim.Result) funcsim.Result {
+	opts = opts.normalize()
+	key := accuracyKey{
+		kind:   kind,
+		org:    org,
+		budget: budget,
+		bench:  prof.Name,
+		seed:   prof.Seed,
+		insts:  opts.Insts,
+		warmup: opts.Warmup,
+		sim:    sim,
+	}
+	return m.result(key, func() funcsim.Result {
+		if opts.Store == nil {
+			return compute()
+		}
+		skey := key.storeKey(traceDigest(prof, opts))
+		rec := opts.Store.Do(skey, func() resultstore.Record {
+			res := compute()
+			return resultstore.Record{Key: skey, Accuracy: &res}
+		})
+		if rec.Accuracy == nil {
+			// A record can only lack its payload if some compute handed the
+			// store one; never serve a zero Result for it.
+			return compute()
+		}
+		return *rec.Accuracy
+	})
+}
+
+// accuracyCell measures the canonical accuracy cell's misprediction
+// percentage — the grid builders' accuracy primitive, resolving through
+// the process-wide memo (and the persistent store when enabled).
+func accuracyCell(kind, org string, budget int, build func() predictor.Predictor, prof workload.Profile, opts Options) float64 {
+	res := accuracyMemo.cell(kind, org, "", budget, prof, opts, func() funcsim.Result {
+		return funcsim.Run(build(), source(prof, opts), funcsim.Options{
+			MaxInsts:    opts.Insts,
+			WarmupInsts: opts.Warmup,
+		})
+	})
+	return res.MispredictPercent()
+}

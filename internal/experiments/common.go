@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
-	"sync"
 
 	"branchsim/internal/core"
-	"branchsim/internal/funcsim"
 	"branchsim/internal/pipeline"
 	"branchsim/internal/predictor"
+	"branchsim/internal/resultstore"
 	"branchsim/internal/textplot"
 	"branchsim/internal/trace"
 	"branchsim/internal/tracestore"
@@ -40,6 +39,22 @@ func sidecar(prof workload.Profile, opts Options, cfg pipeline.Config) *pipeline
 		func() trace.Source { return workload.New(prof) })
 }
 
+// traceDigest returns the content digest of prof's recorded stream at
+// opts.Insts instructions — the identity that binds persistent store
+// entries to the exact bytes they were measured on.
+func traceDigest(prof workload.Profile, opts Options) string {
+	key := tracestore.Key{Name: prof.Name, Seed: prof.Seed, Insts: opts.Insts}
+	return traceStore.Digest(key, func() trace.Source { return workload.New(prof) })
+}
+
+// machineString renders cfg's canonical form for the persistent store's
+// Machine key component. %+v over Config.Canonical is deterministic and
+// self-extending: a new Config field changes the rendering, which
+// invalidates every dependent cell by construction.
+func machineString(cfg pipeline.Config) string {
+	return fmt.Sprintf("%+v", cfg.Canonical())
+}
+
 // TraceStoreStats reports the process-wide trace store's footprint:
 // memoized recordings and their total bytes.
 func TraceStoreStats() (recordings int, bytes int64) {
@@ -63,6 +78,11 @@ type Options struct {
 	Warmup int64
 	// Parallel bounds concurrent simulations; zero means GOMAXPROCS.
 	Parallel int
+	// Store, when non-nil, is the persistent result store the memo tiers
+	// resolve through before simulating: distinct cells hit disk first, and
+	// fresh computes are written back, making reruns incremental across
+	// processes. Nil keeps everything in-memory.
+	Store *resultstore.Store
 }
 
 func (o Options) normalize() Options {
@@ -116,35 +136,6 @@ func (o *Outcome) Table(prefix string) *textplot.Table {
 	return nil
 }
 
-// forEach runs fn(i) for i in [0, n) on a bounded worker pool.
-func forEach(n, parallel int, fn func(i int)) {
-	if parallel > n {
-		parallel = n
-	}
-	if parallel <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
-
 // mustPredictor builds a predictor for a kind hardwired into an experiment
 // table. An unknown kind or bad budget there is a programmer error, so it
 // panics; NewPredictor's errors are already "experiments: "-prefixed, and
@@ -166,23 +157,8 @@ func mustOverriding(kind string, budgetBytes int) *core.Overriding {
 	return o
 }
 
-// accuracyRun builds a fresh predictor via build and measures its
-// misprediction percentage on prof's recorded stream.
-func accuracyRun(build func() predictor.Predictor, prof workload.Profile, opts Options) float64 {
-	res := funcsim.Run(build(), source(prof, opts), funcsim.Options{
-		MaxInsts:    opts.Insts,
-		WarmupInsts: opts.Warmup,
-	})
-	return res.MispredictPercent()
-}
-
-// timingRun builds a fresh predictor organization and measures IPC (and the
-// full result) on prof's recorded stream under the Table 1 machine.
-func timingRun(build func() predictor.Predictor, prof workload.Profile, opts Options) pipeline.Result {
-	return timingRunCfg(pipeline.DefaultConfig(), build, prof, opts)
-}
-
-// timingRunCfg is timingRun under an explicit machine config, with the
+// timingRunCfg runs a fresh predictor organization built by build on
+// prof's recorded stream under an explicit machine config, with the
 // memoized memory-latency sidecar attached (the Sim falls back to live
 // caches whenever the sidecar does not cover the run exactly).
 func timingRunCfg(cfg pipeline.Config, build func() predictor.Predictor, prof workload.Profile, opts Options) pipeline.Result {

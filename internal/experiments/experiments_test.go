@@ -163,14 +163,45 @@ func TestOutcomeRenderAndTableLookup(t *testing.T) {
 	}
 }
 
-func TestForEachCoversAll(t *testing.T) {
+func TestRunCellsCoversAll(t *testing.T) {
 	for _, par := range []int{1, 4, 16} {
 		hit := make([]bool, 37)
-		forEach(len(hit), par, func(i int) { hit[i] = true })
+		var plan cellPlan
+		for i := range hit {
+			plan.add(planKey("test", "none", "", 0, "bench"), func() { hit[i] = true })
+		}
+		plan.execute(par)
 		for i, h := range hit {
 			if !h {
 				t.Fatalf("parallel=%d: index %d not visited", par, i)
 			}
 		}
+	}
+}
+
+// TestRunCellsPanicKey pins the scheduler's panic contract: a panic inside
+// any cell — serial or sharded — is re-raised from RunCells carrying the
+// offending cell's canonical key, not a bare worker stack.
+func TestRunCellsPanicKey(t *testing.T) {
+	key := planKey("timing", "gshare", "ideal", 8192, "164.gzip")
+	for _, par := range []int{1, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("parallel=%d: panic not re-raised", par)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, key) || !strings.Contains(msg, "boom") {
+					t.Fatalf("parallel=%d: panic lost cell context: %v", par, r)
+				}
+			}()
+			var plan cellPlan
+			for i := 0; i < 16; i++ {
+				plan.add(planKey("test", "ok", "", i, "bench"), func() {})
+			}
+			plan.add(key, func() { panic("boom") })
+			plan.execute(par)
+		}()
 	}
 }

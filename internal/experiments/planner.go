@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// This file is the experiment layer's scheduler: experiments no longer
+// compute their grids inline, they enumerate a plan of cells — each one a
+// canonical key plus a closure — and hand the plan to a worker pool that
+// shards distinct cells across goroutines. The closures fan results back
+// into preallocated grid slices (each cell owns exactly one element, so
+// the fan-in needs no locking) and resolve through the tiered store:
+// in-memory memo (timingmemo.go, accuracymemo.go), then the persistent
+// resultstore when Options.Store is set, then simulation.
+
+// A PlannedCell is one schedulable unit of an experiment grid: the canonical key
+// naming what it computes — the identity a panic is reported under — and
+// the closure that computes it.
+type PlannedCell struct {
+	Key string
+	Run func()
+}
+
+// cellPlan accumulates an experiment's cells before execution.
+type cellPlan struct {
+	cells []PlannedCell
+}
+
+func (p *cellPlan) add(key string, run func()) {
+	p.cells = append(p.cells, PlannedCell{Key: key, Run: run})
+}
+
+func (p *cellPlan) execute(parallel int) {
+	RunCells(parallel, p.cells)
+}
+
+// planKey names a cell for the scheduler: the canonical identity minus the
+// measurement window (uniform across a plan) and the trace digest (unknown
+// until the stream is recorded). extra carries cell context beyond the
+// standard axes — an ablation's machine variant, a block-simulation shape.
+func planKey(family, kind, org string, budget int, bench string, extra ...string) string {
+	key := fmt.Sprintf("%s|kind=%s|org=%s|budget=%d|bench=%s", family, kind, org, budget, bench)
+	for _, e := range extra {
+		key += "|" + e
+	}
+	return key
+}
+
+// cellPanic records the first panic raised by any cell in a plan so the
+// scheduler can re-raise it with the offending cell's canonical key — a
+// worker-pool panic with no cell context is undebuggable in a 696-cell
+// grid.
+type cellPanic struct {
+	mu    sync.Mutex
+	set   bool   // guarded by mu
+	key   string // guarded by mu
+	val   any    // guarded by mu
+	stack string // guarded by mu
+}
+
+func (p *cellPanic) record(key string, val any, stack []byte) {
+	p.mu.Lock()
+	if !p.set {
+		p.set, p.key, p.val, p.stack = true, key, val, string(stack)
+	}
+	p.mu.Unlock()
+}
+
+func (p *cellPanic) triggered() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.set
+}
+
+// rethrow re-raises the recorded panic, now carrying the cell key and the
+// original goroutine's stack.
+func (p *cellPanic) rethrow() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.set {
+		panic(fmt.Sprintf("experiments: cell %s panicked: %v\n%s", p.key, p.val, p.stack))
+	}
+}
+
+// runCell executes one cell, converting a panic into a recorded
+// (key, value, stack) triple instead of letting it unwind a bare worker.
+func runCell(p *cellPanic, c PlannedCell) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.record(c.Key, r, debug.Stack())
+		}
+	}()
+	c.Run()
+}
+
+// RunCells executes a plan's cells on a worker pool of at most parallel
+// goroutines. Cells must write to disjoint destinations (each owns its
+// grid element); cells that share a canonical result key coalesce in the
+// memo/store tiers rather than here. If any cell panics, the remaining
+// cells are skipped and the panic is re-raised from RunCells with the
+// offending cell's key prepended.
+func RunCells(parallel int, cells []PlannedCell) {
+	if parallel > len(cells) {
+		parallel = len(cells)
+	}
+	var pan cellPanic
+	if parallel <= 1 {
+		for _, c := range cells {
+			runCell(&pan, c)
+			if pan.triggered() {
+				break
+			}
+		}
+		pan.rethrow()
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan PlannedCell)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				if pan.triggered() {
+					continue
+				}
+				runCell(&pan, c)
+			}
+		}()
+	}
+	for _, c := range cells {
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+	pan.rethrow()
+}

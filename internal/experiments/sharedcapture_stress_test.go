@@ -5,22 +5,29 @@ import (
 	"testing"
 )
 
-// TestForEachSharedCaptureStress is the -race runtime twin of the
-// sharedcapture analyzer (internal/analysis): the worker pool's goroutines
-// capture shared mutable state from the parent, and the discipline the
-// analyzer proves statically — every access to a written capture is
-// lock-dominated — is exercised here dynamically under the race detector.
-func TestForEachSharedCaptureStress(t *testing.T) {
+// TestRunCellsSharedCaptureStress is the -race runtime twin of the
+// sharedcapture analyzer (internal/analysis): the scheduler's worker
+// goroutines capture shared mutable state from the parent, and the
+// discipline the analyzer proves statically — every access to a written
+// capture is lock-dominated or element-disjoint — is exercised here
+// dynamically under the race detector. The seen slice is the grids'
+// fan-in shape (each cell owns one element); sum is the lock-guarded
+// shape.
+func TestRunCellsSharedCaptureStress(t *testing.T) {
 	const n = 2048
 	var mu sync.Mutex
 	sum := 0
 	seen := make([]bool, n)
-	forEach(n, 16, func(i int) {
-		mu.Lock()
-		sum += i
-		seen[i] = true
-		mu.Unlock()
-	})
+	var plan cellPlan
+	for i := 0; i < n; i++ {
+		plan.add(planKey("test", "stress", "", i, "bench"), func() {
+			mu.Lock()
+			sum += i
+			mu.Unlock()
+			seen[i] = true
+		})
+	}
+	plan.execute(16)
 	if want := n * (n - 1) / 2; sum != want {
 		t.Fatalf("sum = %d, want %d", sum, want)
 	}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"branchsim/internal/funcsim"
+	"branchsim/internal/pipeline"
+	"branchsim/internal/predictor"
+	"branchsim/internal/resultstore"
+	"branchsim/internal/workload"
+)
+
+// storeTestOpts uses an instruction budget unique to this file so its
+// cells never collide with other tests' entries in the process-wide trace
+// store or memos (the convention timingmemo_test.go established).
+var storeTestOpts = Options{Insts: 130_000, Warmup: 30_000}
+
+// TestTimingStoreEquivalence is the acceptance criterion's equivalence
+// suite for the timing family: a cell computed through a cold store, the
+// same cell served warm by a second memo (a stand-in for a second
+// process), and a cell computed with no store at all must be bit-identical
+// pipeline Results.
+func TestTimingStoreEquivalence(t *testing.T) {
+	prof := workload.Profiles()[0]
+	const budget = 32 << 10
+
+	fresh := NewTimingMemo().Cell("perceptron", budget, Realistic, prof, storeTestOpts)
+
+	dir := t.TempDir()
+	st1, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := storeTestOpts
+	opts.Store = st1
+	cold := NewTimingMemo().Cell("perceptron", budget, Realistic, prof, opts)
+
+	// A second store over the same directory stands in for a second
+	// process: its flights are empty, so the warm cell must come off disk.
+	st2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Store = st2
+	warm := NewTimingMemo().Cell("perceptron", budget, Realistic, prof, opts)
+
+	if !reflect.DeepEqual(cold, fresh) {
+		t.Fatalf("cold store compute != storeless compute:\n%+v\n%+v", cold, fresh)
+	}
+	if !reflect.DeepEqual(warm, fresh) {
+		t.Fatalf("store-served cell != fresh simulation:\n%+v\n%+v", warm, fresh)
+	}
+	if s := st1.Stats(); s.Misses != 1 || s.Writes != 1 || s.Hits != 0 {
+		t.Fatalf("cold store traffic = %+v, want 1 miss, 1 write", s)
+	}
+	if s := st2.Stats(); s.Hits != 1 || s.Misses != 0 || s.Invalidations != 0 {
+		t.Fatalf("warm store traffic = %+v, want 1 hit", s)
+	}
+}
+
+// TestTimingStoreWarmDoesNotSimulate proves a warm cell never constructs a
+// predictor: the simulation is skipped entirely, not re-run and compared.
+func TestTimingStoreWarmDoesNotSimulate(t *testing.T) {
+	prof := workload.Profiles()[1]
+	const budget = 32 << 10
+	dir := t.TempDir()
+	st1, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := storeTestOpts
+	opts.Store = st1
+	var builds atomic.Int64
+	build := func() predictor.Predictor {
+		builds.Add(1)
+		return mustPredictor("gshare.fast", budget)
+	}
+	cold := NewTimingMemo().cellCustom(pipeline.DefaultConfig(), "gshare.fast", "ideal", budget, build, prof, opts)
+	if builds.Load() != 1 {
+		t.Fatalf("cold cell built %d predictors, want 1", builds.Load())
+	}
+	st2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Store = st2
+	warm := NewTimingMemo().cellCustom(pipeline.DefaultConfig(), "gshare.fast", "ideal", budget, build, prof, opts)
+	if builds.Load() != 1 {
+		t.Fatalf("warm cell re-simulated (%d builds)", builds.Load())
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("warm != cold:\n%+v\n%+v", warm, cold)
+	}
+}
+
+// TestAccuracyStoreEquivalence is the accuracy-family twin: store-served
+// functional results are bit-identical to fresh simulation, and a warm
+// cell never simulates.
+func TestAccuracyStoreEquivalence(t *testing.T) {
+	prof := workload.Profiles()[0]
+	const budget = 32 << 10
+	var computes atomic.Int64
+	compute := func() funcsim.Result {
+		computes.Add(1)
+		return funcsim.Run(mustPredictor("bimode", budget), source(prof, storeTestOpts), funcsim.Options{
+			MaxInsts:    storeTestOpts.Insts,
+			WarmupInsts: storeTestOpts.Warmup,
+		})
+	}
+
+	fresh := NewAccuracyMemo().cell("bimode", "", "", budget, prof, storeTestOpts, compute)
+
+	dir := t.TempDir()
+	st1, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := storeTestOpts
+	opts.Store = st1
+	cold := NewAccuracyMemo().cell("bimode", "", "", budget, prof, opts, compute)
+	if computes.Load() != 2 {
+		t.Fatalf("cold cell computed %d times total, want 2 (storeless + cold)", computes.Load())
+	}
+	st2, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Store = st2
+	warm := NewAccuracyMemo().cell("bimode", "", "", budget, prof, opts, compute)
+	if computes.Load() != 2 {
+		t.Fatalf("warm cell re-simulated (%d computes)", computes.Load())
+	}
+	if !reflect.DeepEqual(cold, fresh) || !reflect.DeepEqual(warm, fresh) {
+		t.Fatalf("store round-trip drifted:\nfresh %+v\ncold  %+v\nwarm  %+v", fresh, cold, warm)
+	}
+	if s := st1.Stats(); s.Misses != 1 || s.Writes != 1 {
+		t.Fatalf("cold store traffic = %+v, want 1 miss, 1 write", s)
+	}
+	if s := st2.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("warm store traffic = %+v, want 1 hit", s)
+	}
+}
+
+// TestStoreKeySeparatesFamilies proves an accuracy cell and a timing cell
+// with the same (kind, budget, bench, window) never collide in the store:
+// the family and machine components keep their content addresses apart.
+func TestStoreKeySeparatesFamilies(t *testing.T) {
+	prof := workload.Profiles()[0]
+	const budget = 32 << 10
+	st, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := storeTestOpts
+	opts.Store = st
+	NewTimingMemo().Cell("gshare.fast", budget, Ideal, prof, opts)
+	NewAccuracyMemo().cell("gshare.fast", "ideal", "", budget, prof, opts, func() funcsim.Result {
+		return funcsim.Run(mustPredictor("gshare.fast", budget), source(prof, opts), funcsim.Options{
+			MaxInsts:    opts.Insts,
+			WarmupInsts: opts.Warmup,
+		})
+	})
+	if s := st.Stats(); s.Misses != 2 || s.Writes != 2 || s.Hits != 0 {
+		t.Fatalf("families collided in the store: %+v", s)
+	}
+}

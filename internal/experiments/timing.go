@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"math"
-
 	"branchsim/internal/predictor"
 	"branchsim/internal/stats"
 	"branchsim/internal/textplot"
@@ -30,33 +28,44 @@ func buildTimed(kind string, budget int, mode TimingMode) predictor.Predictor {
 	return mustOverriding(kind, budget)
 }
 
-// ipcSweep measures harmonic-mean IPC for each (kind, budget) pair.
+// timingOrg names buildTimed's organization for the memo and plan keys:
+// "ideal" for the bare single-cycle predictor (gshare.fast's organization
+// is mode-invariant, so its realistic cells collapse to the same entry),
+// "override" behind the 2K-entry quick gshare.
+func timingOrg(kind string, mode TimingMode) string {
+	if mode == Ideal || kind == "gshare.fast" {
+		return "ideal"
+	}
+	return "override"
+}
+
+// ipcSweep measures harmonic-mean IPC for each (kind, budget) pair. The
+// plan's cells are the distinct (kind, budget, benchmark) simulations; the
+// harmonic mean is reduced after the plan completes.
 func ipcSweep(kinds []string, budgets []int, mode TimingMode, opts Options) *textplot.Table {
 	opts = opts.normalize()
 	profiles := workload.Profiles()
+	grid := make([][][]float64, len(budgets)) // [budget][kind][benchmark]
+	var plan cellPlan
+	for bi, budget := range budgets {
+		grid[bi] = make([][]float64, len(kinds))
+		for ki, kind := range kinds {
+			grid[bi][ki] = make([]float64, len(profiles))
+			for pi, prof := range profiles {
+				plan.add(planKey("timing", kind, timingOrg(kind, mode), budget, prof.Name), func() {
+					grid[bi][ki][pi] = Cell(kind, budget, mode, prof, opts).IPC()
+				})
+			}
+		}
+	}
+	plan.execute(opts.Parallel)
 	values := make([][]float64, len(budgets))
-	for i := range values {
-		values[i] = make([]float64, len(kinds))
-		for j := range values[i] {
-			values[i][j] = math.NaN()
-		}
-	}
-	type job struct{ bi, ki int }
-	var jobs []job
 	for bi := range budgets {
+		values[bi] = make([]float64, len(kinds))
 		for ki := range kinds {
-			jobs = append(jobs, job{bi, ki})
+			values[bi][ki] = stats.HarmonicMean(grid[bi][ki])
 		}
 	}
-	forEach(len(jobs), opts.Parallel, func(n int) {
-		j := jobs[n]
-		ipcs := make([]float64, 0, len(profiles))
-		for _, prof := range profiles {
-			res := Cell(kinds[j.ki], budgets[j.bi], mode, prof, opts)
-			ipcs = append(ipcs, res.IPC())
-		}
-		values[j.bi][j.ki] = stats.HarmonicMean(ipcs)
-	})
 	rows := make([]string, len(budgets))
 	for i, b := range budgets {
 		rows[i] = budgetLabel(b)
@@ -127,18 +136,15 @@ func Figure8(opts Options) *Outcome {
 	for i := range values {
 		values[i] = make([]float64, len(kinds))
 	}
-	type job struct{ pi, ki int }
-	var jobs []job
-	for pi := range profiles {
-		for ki := range kinds {
-			jobs = append(jobs, job{pi, ki})
+	var plan cellPlan
+	for pi, prof := range profiles {
+		for ki, kind := range kinds {
+			plan.add(planKey("timing", kind, timingOrg(kind, Realistic), budget, prof.Name), func() {
+				values[pi][ki] = Cell(kind, budget, Realistic, prof, opts).IPC()
+			})
 		}
 	}
-	forEach(len(jobs), opts.Parallel, func(n int) {
-		j := jobs[n]
-		res := Cell(kinds[j.ki], budget, Realistic, profiles[j.pi], opts)
-		values[j.pi][j.ki] = res.IPC()
-	})
+	plan.execute(opts.Parallel)
 	for ki := range kinds {
 		col := make([]float64, len(profiles))
 		for pi := range profiles {

@@ -5,6 +5,7 @@ import (
 
 	"branchsim/internal/pipeline"
 	"branchsim/internal/predictor"
+	"branchsim/internal/resultstore"
 	"branchsim/internal/workload"
 )
 
@@ -25,6 +26,24 @@ type timingKey struct {
 	insts  int64
 	warmup int64
 	cfg    pipeline.Config
+}
+
+// storeKey widens the in-memory key into the persistent store's
+// cross-process form: the in-process Config value becomes its canonical
+// string rendering and the stream gains its content digest.
+func (k timingKey) storeKey(traceDigest string) resultstore.Key {
+	return resultstore.Key{
+		Family:  "timing",
+		Kind:    k.kind,
+		Org:     k.org,
+		Budget:  k.budget,
+		Bench:   k.bench,
+		Seed:    k.seed,
+		Insts:   k.insts,
+		Warmup:  k.warmup,
+		Machine: machineString(k.cfg),
+		Trace:   traceDigest,
+	}
 }
 
 // timingEntry serializes one cell's computation: the first caller simulates
@@ -85,15 +104,11 @@ func (m *TimingMemo) result(key timingKey, compute func() pipeline.Result) pipel
 // organization on prof's recorded stream under the Table 1 machine,
 // memoized in m. It is the figure grids' cell primitive.
 func (m *TimingMemo) Cell(kind string, budget int, mode TimingMode, prof workload.Profile, opts Options) pipeline.Result {
-	org := "override"
-	if mode == Ideal || kind == "gshare.fast" {
-		// Mirrors buildTimed: these collapse to the bare predictor, so
-		// a kind's ideal and realistic cells share one entry when the
-		// organization is mode-invariant (gshare.fast, bimode.fast is
-		// not — it has no special case there).
-		org = "ideal"
-	}
-	return m.cellCustom(pipeline.DefaultConfig(), kind, org, budget, func() predictor.Predictor {
+	// timingOrg mirrors buildTimed: ideal cells collapse to the bare
+	// predictor, so a kind's ideal and realistic cells share one entry when
+	// the organization is mode-invariant (gshare.fast; bimode.fast is not —
+	// it has no special case there).
+	return m.cellCustom(pipeline.DefaultConfig(), kind, timingOrg(kind, mode), budget, func() predictor.Predictor {
 		return buildTimed(kind, budget, mode)
 	}, prof, opts)
 }
@@ -121,7 +136,20 @@ func (m *TimingMemo) cellCustom(cfg pipeline.Config, kind, org string, budget in
 		cfg:    cfg.Canonical(),
 	}
 	return m.result(key, func() pipeline.Result {
-		return timingRunCfg(cfg, build, prof, opts)
+		if opts.Store == nil {
+			return timingRunCfg(cfg, build, prof, opts)
+		}
+		skey := key.storeKey(traceDigest(prof, opts))
+		rec := opts.Store.Do(skey, func() resultstore.Record {
+			res := timingRunCfg(cfg, build, prof, opts)
+			return resultstore.Record{Key: skey, Timing: &res}
+		})
+		if rec.Timing == nil {
+			// A record can only lack its payload if some compute handed the
+			// store one; never serve a zero Result for it.
+			return timingRunCfg(cfg, build, prof, opts)
+		}
+		return *rec.Timing
 	})
 }
 

@@ -17,6 +17,12 @@
 #                           vs the same cells simulated independently with
 #                           live caches, and the speedup against the frozen
 #                           pre-fast-path baseline.
+#   BENCH_grid.json         the persistent cell store + planner layers: the
+#                           distinct-cell grid column simulated cold into a
+#                           fresh store vs served warm from disk, the same
+#                           plan sharded across workers vs serial, and an
+#                           end-to-end cmd/reproduce cold-vs-warm wall-clock
+#                           comparison with byte-identical stdout enforced.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 5x per sweep iteration)
 set -euo pipefail
@@ -49,6 +55,9 @@ raw=$(go test -run '^$' \
         -benchtime "$benchtime" . &&
     go test -run '^$' \
         -bench '^(BenchmarkTimingSweepFast|BenchmarkTimingSweepSlow)$' \
+        -benchtime "$benchtime" . &&
+    go test -run '^$' \
+        -bench '^(BenchmarkGridColdStore|BenchmarkGridWarmStore|BenchmarkGridSharded|BenchmarkGridSerial)$' \
         -benchtime "$benchtime" .)
 echo "$raw"
 
@@ -65,7 +74,12 @@ replay=$(nsop BenchmarkAccuracySweepReplay)
 slowpath=$(nsop BenchmarkAccuracySweepReplaySlowPath)
 tfast=$(nsop BenchmarkTimingSweepFast)
 tslow=$(nsop BenchmarkTimingSweepSlow)
-for v in "$gen" "$rep" "$fill" "$regen" "$replay" "$slowpath" "$tfast" "$tslow"; do
+gcold=$(nsop BenchmarkGridColdStore)
+gwarm=$(nsop BenchmarkGridWarmStore)
+gshard=$(nsop BenchmarkGridSharded)
+gserial=$(nsop BenchmarkGridSerial)
+for v in "$gen" "$rep" "$fill" "$regen" "$replay" "$slowpath" "$tfast" "$tslow" \
+    "$gcold" "$gwarm" "$gshard" "$gserial"; do
     if [ -z "$v" ]; then
         echo "bench.sh: missing benchmark result in output above" >&2
         exit 1
@@ -108,12 +122,59 @@ awk -v fast="$tfast" -v slow="$tslow" -v base="$timing_baseline_ns" \
         printf "}\n"
     }' > BENCH_timing.json
 
+# End-to-end incremental reproduce: the same binary, the same flags, a
+# fresh store directory — run twice. The first run simulates every cell and
+# writes the store; the second serves every cell from disk. Stdout must be
+# byte-for-byte identical (the store is invisible to results), and the warm
+# run is the acceptance criterion's >=5x.
+echo "==> cmd/reproduce cold vs warm (persistent store)"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+go build -o "$workdir/reproduce" ./cmd/reproduce
+repro_insts=400000
+repro_warmup=100000
+t0=$(date +%s%N)
+"$workdir/reproduce" -insts $repro_insts -warmup $repro_warmup \
+    -store "$workdir/cellstore" > "$workdir/cold.out"
+t1=$(date +%s%N)
+"$workdir/reproduce" -insts $repro_insts -warmup $repro_warmup \
+    -store "$workdir/cellstore" > "$workdir/warm.out"
+t2=$(date +%s%N)
+cold_ns=$((t1 - t0))
+warm_ns=$((t2 - t1))
+if ! cmp -s "$workdir/cold.out" "$workdir/warm.out"; then
+    echo "bench.sh: warm reproduce stdout differs from cold (store changed results)" >&2
+    exit 1
+fi
+echo "    cold ${cold_ns}ns, warm ${warm_ns}ns, stdout byte-identical"
+
+cores=$(nproc)
+awk -v gcold="$gcold" -v gwarm="$gwarm" -v gshard="$gshard" -v gserial="$gserial" \
+    -v rcold="$cold_ns" -v rwarm="$warm_ns" -v cores="$cores" \
+    'BEGIN {
+        printf "{\n"
+        printf "  \"grid_cold_store_ns\": %.0f,\n", gcold
+        printf "  \"grid_warm_store_ns\": %.0f,\n", gwarm
+        printf "  \"warm_store_speedup\": %.2f,\n", gcold / gwarm
+        printf "  \"grid_sharded_ns\": %.0f,\n", gshard
+        printf "  \"grid_serial_ns\": %.0f,\n", gserial
+        printf "  \"shard_ratio\": %.2f,\n", gserial / gshard
+        printf "  \"cores\": %d,\n", cores
+        printf "  \"reproduce_cold_ns\": %.0f,\n", rcold
+        printf "  \"reproduce_warm_ns\": %.0f,\n", rwarm
+        printf "  \"reproduce_warm_speedup\": %.2f,\n", rcold / rwarm
+        printf "  \"reproduce_stdout_identical\": true\n"
+        printf "}\n"
+    }' > BENCH_grid.json
+
 echo "==> wrote BENCH_trace.json"
 cat BENCH_trace.json
 echo "==> wrote BENCH_branchreplay.json"
 cat BENCH_branchreplay.json
 echo "==> wrote BENCH_timing.json"
 cat BENCH_timing.json
+echo "==> wrote BENCH_grid.json"
+cat BENCH_grid.json
 
 gate() { # gate <num> <den> <min> <label>
     local ok
@@ -128,3 +189,13 @@ gate "$slowpath" "$replay" 2.0 "branch fast path below 2x over the instruction-a
 gate "$pr2_baseline_ns" "$replay" 3.0 "branch fast path below 3x over the frozen PR 2 sweep baseline"
 gate "$tslow" "$tfast" 2.0 "timing fast path below 2x over the independent-cell live-cache sweep"
 gate "$timing_baseline_ns" "$tfast" 2.0 "timing fast path below 2x over the frozen pre-fast-path timing baseline"
+gate "$gcold" "$gwarm" 5.0 "warm store below 5x over cold simulation+write-back"
+gate "$cold_ns" "$warm_ns" 5.0 "warm reproduce below 5x over cold reproduce"
+# The scheduler gate adapts to the machine: with >=4 cores sharding must pay
+# for itself (>=2x); on fewer cores the worker pool only has to not regress
+# the serial plan (>=0.8x leaves room for scheduling noise).
+if [ "$cores" -ge 4 ]; then
+    gate "$gserial" "$gshard" 2.0 "sharded grid below 2x over serial on a $cores-core machine"
+else
+    gate "$gserial" "$gshard" 0.8 "sharded grid regressed the serial plan on a $cores-core machine"
+fi

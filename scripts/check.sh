@@ -36,7 +36,10 @@ go test -race -run 'TestConcurrentReplay|TestConcurrentBranchCursors' ./internal
 # many goroutines.
 go test -race -run 'TestTimingMemoConcurrentStress' ./internal/experiments
 # sharedcapture: the worker pool's captured shared state, lock-dominated.
-go test -race -run 'TestForEachSharedCaptureStress' ./internal/experiments
+go test -race -run 'TestRunCellsSharedCaptureStress' ./internal/experiments
+# singleflight: concurrent cold lookups of one cell coalesce into exactly
+# one computation and one store write.
+go test -race -run 'TestConcurrentColdCoalesce' ./internal/resultstore
 
 echo "==> replay equivalence (live vs recorded streams, race-enabled)"
 go test -race -run 'TestReplayEquivalence|TestConcurrentReplay|TestClassifiedReplay' ./internal/tracestore
@@ -49,6 +52,10 @@ echo "==> timing fast-path equivalence (batched/sidecar/memo vs instruction-at-a
 go test -race -run 'TestTimingFastPathEquivalence|TestSidecarFallback|TestSlotRingWraparound' ./internal/pipeline
 go test -race -run 'TestTimingMemoEquivalence|TestTimingMemoDeduplicates|TestTimingMemoConcurrentStress' ./internal/experiments
 go test -race -run 'TestNextInstsMatchesStream|TestNextInstsInterleavesWithNext|TestNextInstsProtocolMixPanics' ./internal/trace
+
+echo "==> cell store equivalence + robustness (store-served cells bit-identical; corrupt/truncated/stale entries recomputed, race-enabled)"
+go test -race ./internal/resultstore
+go test -race -run 'TestTimingStoreEquivalence|TestTimingStoreWarmDoesNotSimulate|TestAccuracyStoreEquivalence|TestStoreKeySeparatesFamilies|TestRunCellsPanicKey' ./internal/experiments
 
 echo "==> batched-loop allocation bounds (no race: alloc counts need a plain build)"
 go test -run 'TestBatchedRunAllocs' ./internal/funcsim
