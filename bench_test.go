@@ -297,6 +297,72 @@ func BenchmarkAccuracySweepReplaySlowPath(b *testing.B) {
 	}
 }
 
+// --- Grid-fusion benchmarks (scripts/bench.sh → BENCH_fusion.json).
+// One benchmark's column of a classic-predictor budget grid — the
+// cheap-table-lane regime grid fusion targets: per-branch work is a couple
+// of table accesses, so per-cell stream walks and per-branch interface
+// dispatch dominate. Fused runs the column as the experiment layer now
+// does: every 256-entry branch batch pulled once and fed to all lanes,
+// cheap lanes stepping through it with one BatchStepper call per batch.
+// PerCell is the identical column down the path fusion replaced: one full
+// batched replay per cell. Heavy lanes (perceptron, multi-component) are
+// compute-bound and gain only the shared fill; they are benchmarked by the
+// experiment benchmarks above, not gated here. ---
+
+// fusionLaneKinds and fusionBudgets shape the fused gate column: the
+// classic table predictors across the Figure 1 budget axis.
+var fusionLaneKinds = []string{"gshare", "bimode", "bimodal"}
+
+var fusionBudgets = []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
+
+func fusionLanes(b *testing.B) []branchsim.AccuracyLane {
+	b.Helper()
+	var lanes []branchsim.AccuracyLane
+	for _, kind := range fusionLaneKinds {
+		for _, budget := range fusionBudgets {
+			p, err := branchsim.NewPredictorByName(kind, budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lanes = append(lanes, branchsim.AccuracyLane{P: p})
+		}
+	}
+	return lanes
+}
+
+// BenchmarkFusedSweep runs the column through RunAccuracyMany: one trace
+// pass for the whole grid column.
+func BenchmarkFusedSweep(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	rec := branchsim.RecordWorkload(bench, sweepInsts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lanes := fusionLanes(b)
+		res := branchsim.RunAccuracyMany(lanes, rec.Replay(), branchsim.AccuracyOptions{MaxInsts: sweepInsts})
+		if len(res) != len(lanes) || res[0].Branches == 0 {
+			b.Fatal("degenerate fused sweep")
+		}
+	}
+}
+
+// BenchmarkFusedSweepPerCell is the identical column down the per-cell
+// path: every lane replays the recording itself through RunAccuracy, as
+// the accuracy grids did before fusion. The ratio of this to
+// BenchmarkFusedSweep is the fused_speedup gate of BENCH_fusion.json.
+func BenchmarkFusedSweepPerCell(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	rec := branchsim.RecordWorkload(bench, sweepInsts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lane := range fusionLanes(b) {
+			res := branchsim.RunAccuracy(lane.P, rec.Replay(), branchsim.AccuracyOptions{MaxInsts: sweepInsts})
+			if res.Branches == 0 {
+				b.Fatal("degenerate sweep cell")
+			}
+		}
+	}
+}
+
 // BenchmarkBranchBatchFill measures raw branch-index replay throughput:
 // the cost per branch of filling BranchRec batches from a recording, with
 // no predictor behind it. Compare BenchmarkReplayStream (per instruction)

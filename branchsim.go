@@ -184,6 +184,16 @@ func RunAccuracy(p Predictor, g Generator, opts AccuracyOptions) AccuracyResult 
 	return funcsim.Run(p, g, opts)
 }
 
+// AccuracyLane is one predictor's slot in a fused RunAccuracyMany sweep.
+type AccuracyLane = funcsim.Lane
+
+// RunAccuracyMany streams one trace pass through every lane's predictor at
+// once — the grid-fused sweep driver — returning per-lane results
+// bit-identical to per-lane RunAccuracy calls.
+func RunAccuracyMany(lanes []AccuracyLane, src BranchSource, opts AccuracyOptions) []AccuracyResult {
+	return funcsim.RunMany(lanes, src, opts)
+}
+
 // BlockPredictor is the block-at-a-time protocol of the multiple-branch
 // extension (§3.3.1); GShareFast implements it.
 type BlockPredictor = funcsim.BlockPredictor

@@ -13,7 +13,10 @@
 // store (-store) does not change stdout either — store-served cells are
 // bit-identical to fresh simulation — it only makes reruns incremental: a
 // second run serves every cell from disk, and a config tweak recomputes
-// only the cells whose canonical identity changed.
+// only the cells whose canonical identity changed. Likewise -nofuse: the
+// grid-fused accuracy sweeps (one trace pass per benchmark feeding every
+// predictor lane) are an execution strategy, not an identity, and both
+// modes print the same bytes.
 package main
 
 import (
@@ -41,6 +44,7 @@ func main() {
 		timings    = flag.Bool("timings", false, "print per-experiment wall-clock timings to stderr")
 		storeDir   = flag.String("store", ".resultstore", "persistent result-store directory (cells served from and written back to disk)")
 		nostore    = flag.Bool("nostore", false, "disable the persistent result store; every cell simulates in-process")
+		nofuse     = flag.Bool("nofuse", false, "disable grid-fused accuracy sweeps; every accuracy cell walks its own trace pass")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this path")
 	)
@@ -69,7 +73,11 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Insts: *insts, Warmup: *warmup, Parallel: *parallel, Store: store}
+	fuse := experiments.FuseAuto
+	if *nofuse {
+		fuse = experiments.FuseOff
+	}
+	opts := experiments.Options{Insts: *insts, Warmup: *warmup, Parallel: *parallel, Store: store, Fuse: fuse}
 	ids := experiments.IDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
@@ -104,6 +112,13 @@ func main() {
 		acells, ahits := experiments.AccuracyMemoStats()
 		fmt.Fprintf(os.Stderr, "(accuracy memo: %d distinct cells simulated, %d duplicate cells served from memory)\n",
 			acells, ahits)
+		groups, lanes, fusedCells, soloCells := experiments.FusionStats()
+		meanLanes := 0.0
+		if groups > 0 {
+			meanLanes = float64(lanes) / float64(groups)
+		}
+		fmt.Fprintf(os.Stderr, "(grid fusion: %d fused trace passes run (%.1f lanes each); %d accuracy cells served fused, %d solo)\n",
+			groups, meanLanes, fusedCells, soloCells)
 		if store != nil {
 			s := store.Stats()
 			fmt.Fprintf(os.Stderr, "(result store: %d cells served from disk, %d cold cells computed, %d invalid entries recomputed; %d cells written back, %d write errors)\n",

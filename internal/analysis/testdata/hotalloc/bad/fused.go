@@ -1,0 +1,28 @@
+package fix
+
+// The grid-fused sweep's batch loop shape: the per-lane closure variant.
+// Wrapping each lane's step in a function literal allocates one heap
+// object per lane per batch — the structure the analyzer must reject
+// (fused.go in the good fixture holds the accepted structure-of-arrays
+// twin).
+
+type lanePred interface {
+	Predict(pc uint64) bool
+	Update(pc uint64, taken bool)
+}
+
+//bplint:hotpath fused batch loop, closure-per-lane shape
+func stepClosures(preds []lanePred, pcs []uint64, takens []bool, mispred []int64) {
+	for li := range preds {
+		p := preds[li]
+		step := func(i int) { // want "closure literal allocates in a hot path"
+			if p.Predict(pcs[i]) != takens[i] {
+				mispred[li]++
+			}
+			p.Update(pcs[i], takens[i])
+		}
+		for i := range pcs {
+			step(i)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package fix
+
+// The grid-fused sweep's batch loop shape: per-lane state packed into
+// index-aligned slices (structure of arrays) and indexed in the loop
+// allocates nothing — the accepted twin of the closure-per-lane variant
+// in the bad fixture, and the shape funcsim's fused driver uses.
+
+type lanePred interface {
+	Predict(pc uint64) bool
+	Update(pc uint64, taken bool)
+}
+
+//bplint:hotpath fused batch loop, structure-of-arrays shape
+func stepLanes(preds []lanePred, pcs []uint64, takens []bool, mispred []int64) {
+	for li := range preds {
+		p := preds[li]
+		for i := range pcs {
+			if p.Predict(pcs[i]) != takens[i] {
+				mispred[li]++
+			}
+			p.Update(pcs[i], takens[i])
+		}
+	}
+}

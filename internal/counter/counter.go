@@ -138,6 +138,30 @@ func (a *Array2) Update(i int, taken bool) {
 	}
 }
 
+// PredictUpdate reads counter i's predicted direction and applies the
+// outcome in one pass over the packed word: Taken(i) followed by
+// Update(i, taken), returning what Taken reported before the update. It is
+// the batch steppers' primitive (predictor.BatchStepper): fusing the read
+// and the saturating write halves the word traffic of the Predict/Update
+// protocol on the table whose access dominates a cheap predictor's cost.
+//
+//bplint:hotpath fused-sweep table access; equivalence pinned by TestPredictUpdate
+func (a *Array2) PredictUpdate(i int, taken bool) bool {
+	shift := 2 * (uint(i) & 31)
+	w := &a.words[i>>5]
+	v := uint32(*w>>shift) & 3
+	pred := v >= 2
+	if taken {
+		if v < 3 {
+			v++
+		}
+	} else if v > 0 {
+		v--
+	}
+	*w = *w&^(3<<shift) | uint64(v)<<shift
+	return pred
+}
+
 // UpdateStrengthen implements the 2Bc-gskew partial-update rule for a single
 // bank: if the counter already predicts the outcome, strengthen it; this is
 // Update restricted to the agreeing direction.

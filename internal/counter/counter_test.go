@@ -238,3 +238,36 @@ func TestSignedArraySizeBytes(t *testing.T) {
 		t.Fatalf("100 8-bit weights = %d bytes", got)
 	}
 }
+
+// TestPredictUpdate pins the fused read-modify-write against the scalar
+// Taken-then-Update pair across every counter state, outcome, and packing
+// position (first, middle, and last counter of a word).
+func TestPredictUpdate(t *testing.T) {
+	for _, i := range []int{0, 17, 31, 32, 63} {
+		for init := uint32(0); init <= 3; init++ {
+			for _, taken := range []bool{false, true} {
+				fused := NewArray2(64, 0)
+				scalar := NewArray2(64, 0)
+				// Surround counter i with saturated neighbours to catch
+				// cross-counter word corruption.
+				for j := 0; j < 64; j++ {
+					fused.Set(j, 3)
+					scalar.Set(j, 3)
+				}
+				fused.Set(i, init)
+				scalar.Set(i, init)
+				wantPred := scalar.Taken(i)
+				scalar.Update(i, taken)
+				if gotPred := fused.PredictUpdate(i, taken); gotPred != wantPred {
+					t.Fatalf("i=%d init=%d taken=%v: pred %v, want %v", i, init, taken, gotPred, wantPred)
+				}
+				for j := 0; j < 64; j++ {
+					if fused.Get(j) != scalar.Get(j) {
+						t.Fatalf("i=%d init=%d taken=%v: counter %d is %d, want %d",
+							i, init, taken, j, fused.Get(j), scalar.Get(j))
+					}
+				}
+			}
+		}
+	}
+}

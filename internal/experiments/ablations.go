@@ -51,17 +51,16 @@ func DelayedUpdate(opts Options) *Outcome {
 			timOrg = accOrg
 		}
 		for pi, prof := range profiles {
-			plan.add(planKey("accuracy", "gshare.fast", accOrg, budget, prof.Name), func() {
-				mr[i][pi] = accuracyCell("gshare.fast", accOrg, budget,
-					func() predictor.Predictor { return makePred(lag) }, prof, opts)
-			})
+			plan.addAccuracy("gshare.fast", accOrg, budget,
+				func() predictor.Predictor { return makePred(lag) }, prof,
+				func(res funcsim.Result) { mr[i][pi] = res.MispredictPercent() })
 			plan.add(planKey("timing", "gshare.fast", timOrg, budget, prof.Name), func() {
 				ipc[i][pi] = cellCustom(pipeline.DefaultConfig(), "gshare.fast", timOrg, budget,
 					func() predictor.Predictor { return makePred(lag) }, prof, opts).IPC()
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 
 	rows := make([]string, len(lags))
 	values := make([][]float64, len(lags))
@@ -107,7 +106,7 @@ func OverrideRate(opts Options) *Outcome {
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	for ki := range kinds {
 		col := make([]float64, len(profiles))
 		for pi := range profiles {
@@ -164,7 +163,7 @@ func MultiBranch(opts Options) *Outcome {
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	values := make([][]float64, len(widths))
 	for i, w := range widths {
 		// Buffer sizing is arithmetic on the construction, not a
@@ -208,22 +207,22 @@ func BufferSweep(opts Options) *Outcome {
 		grid[i] = make([]float64, len(profiles))
 		org := fmt.Sprintf("buf%d", bits)
 		for pi, prof := range profiles {
-			plan.add(planKey("accuracy", "gshare.fast", org, budget, prof.Name), func() {
-				grid[i][pi] = accuracyCell("gshare.fast", org, budget, func() predictor.Predictor {
-					entries := 4
-					for entries*2*2/8 <= budget {
-						entries *= 2
-					}
-					return core.New(core.Config{
-						Entries:    entries,
-						Latency:    delaymodel.Default.PHTReadCycles(entries),
-						BufferBits: bits,
-					})
-				}, prof, opts)
+			plan.addAccuracy("gshare.fast", org, budget, func() predictor.Predictor {
+				entries := 4
+				for entries*2*2/8 <= budget {
+					entries *= 2
+				}
+				return core.New(core.Config{
+					Entries:    entries,
+					Latency:    delaymodel.Default.PHTReadCycles(entries),
+					BufferBits: bits,
+				})
+			}, prof, func(res funcsim.Result) {
+				grid[i][pi] = res.MispredictPercent()
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	values := make([][]float64, len(bufBits))
 	for i := range bufBits {
 		values[i] = []float64{stats.Mean(grid[i])}
@@ -283,7 +282,7 @@ func QuickSizeSweep(opts Options) *Outcome {
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	values := make([][]float64, len(sizes))
 	for i := range sizes {
 		values[i] = []float64{stats.HarmonicMean(ipcs[i]), stats.Mean(overrides[i])}
@@ -341,7 +340,7 @@ func DepthSweep(opts Options) *Outcome {
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	values := make([][]float64, len(depths))
 	for i := range depths {
 		values[i] = []float64{stats.HarmonicMean(fast[i]), stats.HarmonicMean(over[i])}
@@ -391,16 +390,15 @@ func FastFamily(opts Options) *Outcome {
 		ipcs[i] = make([]float64, len(profiles))
 		kind, mode := cellKinds[i], cellModes[i]
 		for pi, prof := range profiles {
-			plan.add(planKey("accuracy", kind, "", budget, prof.Name), func() {
-				rates[i][pi] = accuracyCell(kind, "", budget,
-					func() predictor.Predictor { return mustPredictor(kind, budget) }, prof, opts)
-			})
+			plan.addAccuracy(kind, "", budget,
+				func() predictor.Predictor { return mustPredictor(kind, budget) }, prof,
+				func(res funcsim.Result) { rates[i][pi] = res.MispredictPercent() })
 			plan.add(planKey("timing", kind, timingOrg(kind, mode), budget, prof.Name), func() {
 				ipcs[i][pi] = Cell(kind, budget, mode, prof, opts).IPC()
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	values := make([][]float64, len(rows))
 	for i := range rows {
 		values[i] = []float64{stats.Mean(rates[i]), stats.HarmonicMean(ipcs[i])}
@@ -451,7 +449,7 @@ func Recovery(opts Options) *Outcome {
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	values := make([][]float64, len(budgets))
 	for i := range budgets {
 		values[i] = []float64{stats.HarmonicMean(with[i]), stats.HarmonicMean(without[i])}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"branchsim/internal/funcsim"
 	"branchsim/internal/predictor"
 	"branchsim/internal/stats"
 	"branchsim/internal/textplot"
@@ -8,9 +9,10 @@ import (
 )
 
 // mispredictSweep measures arithmetic-mean misprediction rates for each
-// (kind, budget) pair over the full benchmark suite. The plan's cells are
-// the distinct (kind, budget, benchmark) simulations — the scheduler
-// shards those, and the mean is reduced after the plan completes.
+// (kind, budget) pair over the full benchmark suite. The cells are the
+// distinct (kind, budget, benchmark) simulations, declared as accuracy
+// specs so the scheduler can fuse each benchmark's cold column into one
+// trace pass; the mean is reduced after the plan completes.
 func mispredictSweep(kinds []string, budgets []int, opts Options) *textplot.Table {
 	opts = opts.normalize()
 	profiles := workload.Profiles()
@@ -21,15 +23,15 @@ func mispredictSweep(kinds []string, budgets []int, opts Options) *textplot.Tabl
 		for ki, kind := range kinds {
 			grid[bi][ki] = make([]float64, len(profiles))
 			for pi, prof := range profiles {
-				plan.add(planKey("accuracy", kind, "", budget, prof.Name), func() {
-					grid[bi][ki][pi] = accuracyCell(kind, "", budget, func() predictor.Predictor {
-						return mustPredictor(kind, budget)
-					}, prof, opts)
+				plan.addAccuracy(kind, "", budget, func() predictor.Predictor {
+					return mustPredictor(kind, budget)
+				}, prof, func(res funcsim.Result) {
+					grid[bi][ki][pi] = res.MispredictPercent()
 				})
 			}
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	values := make([][]float64, len(budgets))
 	for bi := range budgets {
 		values[bi] = make([]float64, len(kinds))
@@ -102,14 +104,14 @@ func Figure6(opts Options) *Outcome {
 	var plan cellPlan
 	for pi, prof := range profiles {
 		for ki, kind := range kinds {
-			plan.add(planKey("accuracy", kind, "", budget, prof.Name), func() {
-				values[pi][ki] = accuracyCell(kind, "", budget, func() predictor.Predictor {
-					return mustPredictor(kind, budget)
-				}, prof, opts)
+			plan.addAccuracy(kind, "", budget, func() predictor.Predictor {
+				return mustPredictor(kind, budget)
+			}, prof, func(res funcsim.Result) {
+				values[pi][ki] = res.MispredictPercent()
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	for ki := range kinds {
 		col := make([]float64, len(profiles))
 		for pi := range profiles {

@@ -4,7 +4,6 @@ import (
 	"sync"
 
 	"branchsim/internal/funcsim"
-	"branchsim/internal/predictor"
 	"branchsim/internal/resultstore"
 	"branchsim/internal/workload"
 )
@@ -79,9 +78,14 @@ var accuracyMemo = NewAccuracyMemo()
 // AccuracyMemoStats reports the process-wide accuracy memo's footprint:
 // distinct cells simulated and duplicate lookups served from memory.
 func AccuracyMemoStats() (cells int, hits int64) {
-	accuracyMemo.mu.Lock()
-	defer accuracyMemo.mu.Unlock()
-	return len(accuracyMemo.entries), accuracyMemo.hits
+	return accuracyMemo.stats()
+}
+
+// stats snapshots the memo's footprint: distinct entries and memory hits.
+func (m *AccuracyMemo) stats() (cells int, hits int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries), m.hits
 }
 
 // result returns the memoized Result for key, calling compute on first
@@ -117,32 +121,58 @@ func (m *AccuracyMemo) cell(kind, org, sim string, budget int, prof workload.Pro
 		sim:    sim,
 	}
 	return m.result(key, func() funcsim.Result {
-		if opts.Store == nil {
-			return compute()
-		}
-		skey := key.storeKey(traceDigest(prof, opts))
-		rec := opts.Store.Do(skey, func() resultstore.Record {
-			res := compute()
-			return resultstore.Record{Key: skey, Accuracy: &res}
-		})
-		if rec.Accuracy == nil {
-			// A record can only lack its payload if some compute handed the
-			// store one; never serve a zero Result for it.
-			return compute()
-		}
-		return *rec.Accuracy
+		return storedCompute(key, prof, opts, compute)
 	})
 }
 
-// accuracyCell measures the canonical accuracy cell's misprediction
-// percentage — the grid builders' accuracy primitive, resolving through
-// the process-wide memo (and the persistent store when enabled).
-func accuracyCell(kind, org string, budget int, build func() predictor.Predictor, prof workload.Profile, opts Options) float64 {
-	res := accuracyMemo.cell(kind, org, "", budget, prof, opts, func() funcsim.Result {
-		return funcsim.Run(build(), source(prof, opts), funcsim.Options{
-			MaxInsts:    opts.Insts,
-			WarmupInsts: opts.Warmup,
-		})
+// storedCompute resolves one cold cell's computation through the
+// persistent store when one is configured — the solo compute every
+// execution mode shares: cell()'s memo-miss path, the fused scheduler's
+// fallback for entries another experiment already owns, and the FuseOff
+// lowering all bottom out here.
+func storedCompute(key accuracyKey, prof workload.Profile, opts Options, compute func() funcsim.Result) funcsim.Result {
+	if opts.Store == nil {
+		return compute()
+	}
+	skey := key.storeKey(traceDigest(prof, opts))
+	rec := opts.Store.Do(skey, func() resultstore.Record {
+		res := compute()
+		return resultstore.Record{Key: skey, Accuracy: &res}
 	})
-	return res.MispredictPercent()
+	if rec.Accuracy == nil {
+		// A record can only lack its payload if some compute handed the
+		// store one; never serve a zero Result for it.
+		return compute()
+	}
+	return *rec.Accuracy
+}
+
+// specKey returns s's canonical memo key under opts (already normalized).
+func specKey(s accuracySpec, opts Options) accuracyKey {
+	return accuracyKey{
+		kind:   s.kind,
+		org:    s.org,
+		budget: s.budget,
+		bench:  s.prof.Name,
+		seed:   s.prof.Seed,
+		insts:  opts.Insts,
+		warmup: opts.Warmup,
+	}
+}
+
+// runSpec simulates spec s alone — the per-cell reference path whose
+// results the fused pass must reproduce bit for bit.
+func runSpec(s accuracySpec, opts Options) funcsim.Result {
+	return funcsim.Run(s.build(), source(s.prof, opts), funcsim.Options{
+		MaxInsts:    opts.Insts,
+		WarmupInsts: opts.Warmup,
+	})
+}
+
+// specCell resolves one accuracy spec per-cell through the full
+// memo → store → simulate tier — the FuseOff lowering.
+func (m *AccuracyMemo) specCell(s accuracySpec, opts Options) funcsim.Result {
+	return m.cell(s.kind, s.org, "", s.budget, s.prof, opts, func() funcsim.Result {
+		return runSpec(s, opts)
+	})
 }

@@ -67,6 +67,24 @@ func SidecarStats() (sidecars int, bytes int64) {
 	return traceStore.SidecarLen(), traceStore.SidecarSizeBytes()
 }
 
+// FuseMode selects how a plan's accuracy cells execute. It is an
+// execution strategy, not an identity: both modes publish bit-identical
+// Results under the same canonical keys (TestFusedEquivalence), so the
+// knob exists only for A/B timing and for falling back if a platform ever
+// misbehaves.
+type FuseMode int
+
+const (
+	// FuseAuto — the zero value, so fusion is the default — groups a
+	// plan's cold accuracy cells by benchmark and runs each group through
+	// funcsim.RunMany: one trace pass per benchmark feeds every predictor
+	// lane.
+	FuseAuto FuseMode = iota
+	// FuseOff lowers every accuracy cell to its own per-cell funcsim.Run,
+	// the pre-fusion schedule (cmd/reproduce -nofuse).
+	FuseOff
+)
+
 // Options configures an experiment run.
 type Options struct {
 	// Insts is the dynamic instruction budget per benchmark; Warmup
@@ -83,6 +101,9 @@ type Options struct {
 	// fresh computes are written back, making reruns incremental across
 	// processes. Nil keeps everything in-memory.
 	Store *resultstore.Store
+	// Fuse selects the accuracy cells' execution strategy; the zero value
+	// (FuseAuto) runs them grid-fused, one trace pass per benchmark.
+	Fuse FuseMode
 }
 
 func (o Options) normalize() Options {

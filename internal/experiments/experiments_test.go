@@ -170,7 +170,7 @@ func TestRunCellsCoversAll(t *testing.T) {
 		for i := range hit {
 			plan.add(planKey("test", "none", "", 0, "bench"), func() { hit[i] = true })
 		}
-		plan.execute(par)
+		plan.execute(Options{Parallel: par})
 		for i, h := range hit {
 			if !h {
 				t.Fatalf("parallel=%d: index %d not visited", par, i)
@@ -201,7 +201,7 @@ func TestRunCellsPanicKey(t *testing.T) {
 				plan.add(planKey("test", "ok", "", i, "bench"), func() {})
 			}
 			plan.add(key, func() { panic("boom") })
-			plan.execute(par)
+			plan.execute(Options{Parallel: par})
 		}()
 	}
 }

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+
+	"branchsim/internal/funcsim"
+	"branchsim/internal/predictor"
+	"branchsim/internal/workload"
 )
 
 // This file is the experiment layer's scheduler: experiments no longer
@@ -23,17 +27,87 @@ type PlannedCell struct {
 	Run func()
 }
 
+// An accuracySpec is one standard accuracy cell declared for fused
+// scheduling: the canonical (kind, org, budget, benchmark) identity, the
+// predictor construction, and the sink its Result fans back into. Unlike
+// a PlannedCell its computation is not a closed closure — the scheduler
+// decides, per benchmark and after the memo and store tiers resolve,
+// which specs still need simulation, and runs those together through one
+// funcsim.RunMany trace pass (fusion.go).
+type accuracySpec struct {
+	kind   string
+	org    string
+	budget int
+	build  func() predictor.Predictor
+	prof   workload.Profile
+	sink   func(funcsim.Result)
+}
+
 // cellPlan accumulates an experiment's cells before execution.
 type cellPlan struct {
 	cells []PlannedCell
+	acc   []accuracySpec
 }
 
 func (p *cellPlan) add(key string, run func()) {
 	p.cells = append(p.cells, PlannedCell{Key: key, Run: run})
 }
 
-func (p *cellPlan) execute(parallel int) {
-	RunCells(parallel, p.cells)
+// addAccuracy declares one standard accuracy cell (sim = "": plain
+// funcsim.Run semantics), published under exactly the same canonical key
+// whether it later executes fused or per-cell. Accuracy cells with extra
+// simulator shape (RunBlocks) or diagnostics (PerClass) stay on add;
+// RunMany does not carry their state.
+func (p *cellPlan) addAccuracy(kind, org string, budget int, build func() predictor.Predictor, prof workload.Profile, sink func(funcsim.Result)) {
+	p.acc = append(p.acc, accuracySpec{kind: kind, org: org, budget: budget, build: build, prof: prof, sink: sink})
+}
+
+// execute runs the plan: plain cells as scheduled, accuracy specs lowered
+// to one fused group per benchmark (FuseAuto) or to per-cell runs
+// (FuseOff). Both lowerings resolve through the same memo and store tiers
+// under the same keys, so the mode is invisible to results and caches.
+func (p *cellPlan) execute(opts Options) {
+	p.executeWith(opts, accuracyMemo, fusionCounters)
+}
+
+// executeWith is execute with the process-wide accuracy memo and fusion
+// counters made explicit so tests can run plans against fresh ones.
+func (p *cellPlan) executeWith(opts Options, memo *AccuracyMemo, fc *FusionCounters) {
+	opts = opts.normalize()
+	cells := p.cells
+	if opts.Fuse == FuseOff {
+		for _, s := range p.acc {
+			cells = append(cells, PlannedCell{
+				Key: planKey("accuracy", s.kind, s.org, s.budget, s.prof.Name),
+				Run: func() { s.sink(memo.specCell(s, opts)) },
+			})
+		}
+	} else {
+		for _, g := range groupByBench(p.acc) {
+			cells = append(cells, PlannedCell{
+				Key: fmt.Sprintf("accuracy.fused|bench=%s|lanes=%d", g[0].prof.Name, len(g)),
+				Run: func() { runFusedGroup(memo, fc, g, opts) },
+			})
+		}
+	}
+	RunCells(opts.Parallel, cells)
+}
+
+// groupByBench buckets specs by benchmark in first-appearance order — the
+// fused unit is "one trace pass per benchmark".
+func groupByBench(specs []accuracySpec) [][]accuracySpec {
+	idx := make(map[string]int)
+	var groups [][]accuracySpec
+	for _, s := range specs {
+		i, ok := idx[s.prof.Name]
+		if !ok {
+			i = len(groups)
+			idx[s.prof.Name] = i
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], s)
+	}
+	return groups
 }
 
 // planKey names a cell for the scheduler: the canonical identity minus the

@@ -27,7 +27,7 @@ func TestRunCellsSharedCaptureStress(t *testing.T) {
 			seen[i] = true
 		})
 	}
-	plan.execute(16)
+	plan.execute(Options{Parallel: 16})
 	if want := n * (n - 1) / 2; sum != want {
 		t.Fatalf("sum = %d, want %d", sum, want)
 	}

@@ -58,7 +58,7 @@ func ipcSweep(kinds []string, budgets []int, mode TimingMode, opts Options) *tex
 			}
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	values := make([][]float64, len(budgets))
 	for bi := range budgets {
 		values[bi] = make([]float64, len(kinds))
@@ -144,7 +144,7 @@ func Figure8(opts Options) *Outcome {
 			})
 		}
 	}
-	plan.execute(opts.Parallel)
+	plan.execute(opts)
 	for ki := range kinds {
 		col := make([]float64, len(profiles))
 		for pi := range profiles {

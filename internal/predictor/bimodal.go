@@ -46,6 +46,23 @@ func (b *Bimodal) Update(pc uint64, taken bool) {
 	b.pht.Update(int(pcIndex(pc, b.mask)), taken)
 }
 
+// StepBatch implements BatchStepper: one fused read-modify-write of the
+// PC-indexed counter per branch.
+//
+//bplint:hotpath fused-sweep bimodal lane; bit-identity pinned by TestStepBatchEquivalence
+func (b *Bimodal) StepBatch(pcs []uint64, takens []bool, measuredFrom int) int64 {
+	var miss int64
+	pht, mask := b.pht, b.mask
+	for i, pc := range pcs {
+		taken := takens[i]
+		pred := pht.PredictUpdate(int(pcIndex(pc, mask)), taken)
+		if pred != taken && i >= measuredFrom {
+			miss++
+		}
+	}
+	return miss
+}
+
 // SizeBytes implements Predictor.
 func (b *Bimodal) SizeBytes() int { return b.pht.SizeBytes() }
 

@@ -101,6 +101,37 @@ func (b *BiMode) Update(pc uint64, taken bool) {
 	b.ghr.Push(taken)
 }
 
+// StepBatch implements BatchStepper. Predict followed by Update reads the
+// choice PHT and the selected direction bank twice each (parts runs in
+// both); the fused step reads each once, which is legal because neither
+// table changes between the scalar pair's two reads: the selected bank's
+// pre-update direction doubles as the prediction and as Update's
+// bankCorrect, and the choice counter's direction is unchanged until its
+// own conditional update.
+//
+//bplint:hotpath fused-sweep bi-mode lane; bit-identity pinned by TestStepBatchEquivalence
+func (b *BiMode) StepBatch(pcs []uint64, takens []bool, measuredFrom int) int64 {
+	var miss int64
+	for i, pc := range pcs {
+		taken := takens[i]
+		choiceIdx, dirIdx, useTaken := b.parts(pc)
+		var pred bool
+		if useTaken {
+			pred = b.taken.PredictUpdate(dirIdx, taken)
+		} else {
+			pred = b.notTkn.PredictUpdate(dirIdx, taken)
+		}
+		if !(useTaken != taken && pred == taken) {
+			b.choice.Update(choiceIdx, taken)
+		}
+		b.ghr.Push(taken)
+		if pred != taken && i >= measuredFrom {
+			miss++
+		}
+	}
+	return miss
+}
+
 // SizeBytes implements Predictor.
 func (b *BiMode) SizeBytes() int {
 	return b.choice.SizeBytes() + b.taken.SizeBytes() + b.notTkn.SizeBytes() + b.ghr.SizeBytes()

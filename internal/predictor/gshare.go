@@ -62,6 +62,26 @@ func (g *GShare) Update(pc uint64, taken bool) {
 	g.ghr.Push(taken)
 }
 
+// StepBatch implements BatchStepper: the Predict/Update pair per branch,
+// with the index computed once and the PHT word read and written once
+// (counter.Array2.PredictUpdate).
+//
+//bplint:hotpath fused-sweep gshare lane; bit-identity pinned by TestStepBatchEquivalence
+func (g *GShare) StepBatch(pcs []uint64, takens []bool, measuredFrom int) int64 {
+	var miss int64
+	pht, ghr, mask := g.pht, g.ghr, g.idxMask
+	for i, pc := range pcs {
+		taken := takens[i]
+		idx := int((ghr.Value() ^ (pc >> 2)) & mask)
+		pred := pht.PredictUpdate(idx, taken)
+		ghr.Push(taken)
+		if pred != taken && i >= measuredFrom {
+			miss++
+		}
+	}
+	return miss
+}
+
 // SizeBytes implements Predictor.
 func (g *GShare) SizeBytes() int { return g.pht.SizeBytes() + g.ghr.SizeBytes() }
 

@@ -41,6 +41,27 @@ type CycleAware interface {
 	OnCycle(cycle uint64)
 }
 
+// BatchStepper is the fused sweep driver's per-lane protocol
+// (funcsim.RunMany): step the predictor through a batch of resolved
+// branches in stream order with one call instead of one Predict/Update
+// pair per branch. StepBatch must be observationally identical to
+//
+//	pred := p.Predict(pcs[i])
+//	p.Update(pcs[i], takens[i])
+//
+// applied for i = 0..len(pcs)-1, returning the number of branches at
+// i >= measuredFrom whose pred differed from takens[i]. "Identical" means
+// bit-identical: the same table and history state afterwards and the same
+// per-branch predictions, which the equivalence suites in this package and
+// in funcsim enforce against the scalar protocol. Only predictors whose
+// per-branch work is cheap enough for dispatch and duplicate index
+// computation to dominate implement it — complex predictors gain nothing,
+// and cycle-aware predictors cannot (their per-branch OnCycle interleaving
+// needs the scalar loop).
+type BatchStepper interface {
+	StepBatch(pcs []uint64, takens []bool, measuredFrom int) (mispredicts int64)
+}
+
 // pow2Entries returns the largest power-of-two entry count such that
 // entries*bitsPerEntry fits in budgetBytes, and at least minEntries.
 func pow2Entries(budgetBytes int, bitsPerEntry int, minEntries int) int {

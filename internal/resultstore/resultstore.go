@@ -181,6 +181,25 @@ func (s *Store) Do(key Key, compute func() Record) Record {
 	return f.rec
 }
 
+// Get probes the store for key without computing anything on a miss — the
+// read half of the fused sweep's two-phase flow (probe every cell in a
+// group, simulate the residual cold cells together, Put them back). It
+// counts traffic exactly as Do's load does: a Hit when the cell is served,
+// a Miss when no file exists, an Invalidation when a file exists but fails
+// validation. Unlike Do it does not consult or populate the in-process
+// flight cache: fused callers dedupe in-process through the accuracy memo
+// before probing, so every Get is a genuine disk question.
+func (s *Store) Get(key Key) (Record, bool) {
+	return s.load(key, key.Canonical())
+}
+
+// Put writes rec back under key — the write half of the fused two-phase
+// flow, counting Writes and WriteErrors exactly as Do's write-back does.
+// rec.Key must equal key, like Do's compute contract.
+func (s *Store) Put(key Key, rec Record) {
+	s.write(key, rec)
+}
+
 // cellMagic is the file format's self-describing version tag. Bump it and
 // every existing entry becomes a counted invalidation on next read — the
 // format itself is part of the cell identity.

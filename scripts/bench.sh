@@ -23,6 +23,15 @@
 #                           plan sharded across workers vs serial, and an
 #                           end-to-end cmd/reproduce cold-vs-warm wall-clock
 #                           comparison with byte-identical stdout enforced.
+#   BENCH_fusion.json       the grid-fused accuracy sweeps: one benchmark's
+#                           27-lane accuracy column (3 kinds x 9 budgets)
+#                           through one fused RunMany trace pass vs the same
+#                           lanes run per-cell, plus a cold cmd/reproduce
+#                           fused-vs- -nofuse wall-clock comparison with
+#                           byte-identical stdout enforced.
+#
+# Every JSON records the machine's core count: the parallel comparisons
+# (shard ratio, wall clocks) only compare across runs on similar machines.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 5x per sweep iteration)
 set -euo pipefail
@@ -58,6 +67,9 @@ raw=$(go test -run '^$' \
         -benchtime "$benchtime" . &&
     go test -run '^$' \
         -bench '^(BenchmarkGridColdStore|BenchmarkGridWarmStore|BenchmarkGridSharded|BenchmarkGridSerial)$' \
+        -benchtime "$benchtime" . &&
+    go test -run '^$' \
+        -bench '^(BenchmarkFusedSweep|BenchmarkFusedSweepPerCell)$' \
         -benchtime "$benchtime" .)
 echo "$raw"
 
@@ -78,15 +90,19 @@ gcold=$(nsop BenchmarkGridColdStore)
 gwarm=$(nsop BenchmarkGridWarmStore)
 gshard=$(nsop BenchmarkGridSharded)
 gserial=$(nsop BenchmarkGridSerial)
+ffused=$(nsop BenchmarkFusedSweep)
+fpercell=$(nsop BenchmarkFusedSweepPerCell)
 for v in "$gen" "$rep" "$fill" "$regen" "$replay" "$slowpath" "$tfast" "$tslow" \
-    "$gcold" "$gwarm" "$gshard" "$gserial"; do
+    "$gcold" "$gwarm" "$gshard" "$gserial" "$ffused" "$fpercell"; do
     if [ -z "$v" ]; then
         echo "bench.sh: missing benchmark result in output above" >&2
         exit 1
     fi
 done
 
-awk -v gen="$gen" -v rep="$rep" -v regen="$regen" -v replay="$replay" \
+cores=$(nproc)
+
+awk -v gen="$gen" -v rep="$rep" -v regen="$regen" -v replay="$replay" -v cores="$cores" \
     'BEGIN {
         printf "{\n"
         printf "  \"generate_stream_ns_per_inst\": %.2f,\n", gen
@@ -94,11 +110,12 @@ awk -v gen="$gen" -v rep="$rep" -v regen="$regen" -v replay="$replay" \
         printf "  \"stream_speedup\": %.2f,\n", gen / rep
         printf "  \"accuracy_sweep_regenerate_ns\": %.0f,\n", regen
         printf "  \"accuracy_sweep_replay_ns\": %.0f,\n", replay
-        printf "  \"accuracy_sweep_speedup\": %.2f\n", regen / replay
+        printf "  \"accuracy_sweep_speedup\": %.2f,\n", regen / replay
+        printf "  \"cores\": %d\n", cores
         printf "}\n"
     }' > BENCH_trace.json
 
-awk -v fast="$replay" -v slow="$slowpath" -v fill="$fill" -v base="$pr2_baseline_ns" \
+awk -v fast="$replay" -v slow="$slowpath" -v fill="$fill" -v base="$pr2_baseline_ns" -v cores="$cores" \
     'BEGIN {
         printf "{\n"
         printf "  \"accuracy_sweep_fastpath_ns\": %.0f,\n", fast
@@ -107,18 +124,20 @@ awk -v fast="$replay" -v slow="$slowpath" -v fill="$fill" -v base="$pr2_baseline
         printf "  \"pr2_baseline_sweep_ns\": %.0f,\n", base
         printf "  \"speedup_vs_pr2_baseline\": %.2f,\n", base / fast
         printf "  \"branch_fill_ns_per_branch\": %.2f,\n", fill
-        printf "  \"branch_fill_branches_per_sec\": %.0f\n", 1e9 / fill
+        printf "  \"branch_fill_branches_per_sec\": %.0f,\n", 1e9 / fill
+        printf "  \"cores\": %d\n", cores
         printf "}\n"
     }' > BENCH_branchreplay.json
 
-awk -v fast="$tfast" -v slow="$tslow" -v base="$timing_baseline_ns" \
+awk -v fast="$tfast" -v slow="$tslow" -v base="$timing_baseline_ns" -v cores="$cores" \
     'BEGIN {
         printf "{\n"
         printf "  \"timing_sweep_fastpath_ns\": %.0f,\n", fast
         printf "  \"timing_sweep_slowpath_ns\": %.0f,\n", slow
         printf "  \"fastpath_vs_slowpath_speedup\": %.2f,\n", slow / fast
         printf "  \"pr4_baseline_sweep_ns\": %.0f,\n", base
-        printf "  \"speedup_vs_pr4_baseline\": %.2f\n", base / fast
+        printf "  \"speedup_vs_pr4_baseline\": %.2f,\n", base / fast
+        printf "  \"cores\": %d\n", cores
         printf "}\n"
     }' > BENCH_timing.json
 
@@ -148,7 +167,27 @@ if ! cmp -s "$workdir/cold.out" "$workdir/warm.out"; then
 fi
 echo "    cold ${cold_ns}ns, warm ${warm_ns}ns, stdout byte-identical"
 
-cores=$(nproc)
+# Cold fused vs cold -nofuse: the same binary with the store disabled, so
+# both runs simulate every accuracy cell — one trace pass per benchmark vs
+# one per cell. Stdout must be byte-for-byte identical (fusion is an
+# execution strategy, not an identity); the wall-clock ratio is reported,
+# not gated — the microbenchmark gate below owns the >=2x criterion.
+echo "==> cmd/reproduce fused vs -nofuse (cold, no store)"
+t3=$(date +%s%N)
+"$workdir/reproduce" -insts $repro_insts -warmup $repro_warmup \
+    -nostore > "$workdir/fused.out"
+t4=$(date +%s%N)
+"$workdir/reproduce" -insts $repro_insts -warmup $repro_warmup \
+    -nostore -nofuse > "$workdir/nofuse.out"
+t5=$(date +%s%N)
+fusedrepro_ns=$((t4 - t3))
+nofuserepro_ns=$((t5 - t4))
+if ! cmp -s "$workdir/fused.out" "$workdir/nofuse.out"; then
+    echo "bench.sh: -nofuse reproduce stdout differs from fused (fusion changed results)" >&2
+    exit 1
+fi
+echo "    fused ${fusedrepro_ns}ns, nofuse ${nofuserepro_ns}ns, stdout byte-identical"
+
 awk -v gcold="$gcold" -v gwarm="$gwarm" -v gshard="$gshard" -v gserial="$gserial" \
     -v rcold="$cold_ns" -v rwarm="$warm_ns" -v cores="$cores" \
     'BEGIN {
@@ -167,6 +206,24 @@ awk -v gcold="$gcold" -v gwarm="$gwarm" -v gshard="$gshard" -v gserial="$gserial
         printf "}\n"
     }' > BENCH_grid.json
 
+# The fused lane set is bench_test.go's fusionLaneKinds x fusionBudgets:
+# 3 kinds x 9 budgets = 27 lanes over one benchmark's recorded stream.
+awk -v fused="$ffused" -v percell="$fpercell" -v cores="$cores" \
+    -v rfused="$fusedrepro_ns" -v rnofuse="$nofuserepro_ns" \
+    'BEGIN {
+        printf "{\n"
+        printf "  \"fused_sweep_ns\": %.0f,\n", fused
+        printf "  \"percell_sweep_ns\": %.0f,\n", percell
+        printf "  \"fused_speedup\": %.2f,\n", percell / fused
+        printf "  \"lanes\": 27,\n"
+        printf "  \"reproduce_fused_cold_ns\": %.0f,\n", rfused
+        printf "  \"reproduce_nofuse_cold_ns\": %.0f,\n", rnofuse
+        printf "  \"reproduce_fused_ratio\": %.2f,\n", rnofuse / rfused
+        printf "  \"reproduce_stdout_identical\": true,\n"
+        printf "  \"cores\": %d\n", cores
+        printf "}\n"
+    }' > BENCH_fusion.json
+
 echo "==> wrote BENCH_trace.json"
 cat BENCH_trace.json
 echo "==> wrote BENCH_branchreplay.json"
@@ -175,6 +232,8 @@ echo "==> wrote BENCH_timing.json"
 cat BENCH_timing.json
 echo "==> wrote BENCH_grid.json"
 cat BENCH_grid.json
+echo "==> wrote BENCH_fusion.json"
+cat BENCH_fusion.json
 
 gate() { # gate <num> <den> <min> <label>
     local ok
@@ -191,6 +250,7 @@ gate "$tslow" "$tfast" 2.0 "timing fast path below 2x over the independent-cell 
 gate "$timing_baseline_ns" "$tfast" 2.0 "timing fast path below 2x over the frozen pre-fast-path timing baseline"
 gate "$gcold" "$gwarm" 5.0 "warm store below 5x over cold simulation+write-back"
 gate "$cold_ns" "$warm_ns" 5.0 "warm reproduce below 5x over cold reproduce"
+gate "$fpercell" "$ffused" 2.0 "fused accuracy sweep below 2x over the per-cell sweep"
 # The scheduler gate adapts to the machine: with >=4 cores sharding must pay
 # for itself (>=2x); on fewer cores the worker pool only has to not regress
 # the serial plan (>=0.8x leaves room for scheduling noise).
