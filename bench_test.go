@@ -499,6 +499,73 @@ func BenchmarkTimingSweepSlow(b *testing.B) {
 	}
 }
 
+// --- Fused-timing benchmarks (scripts/bench.sh → BENCH_timingfusion.json).
+// One benchmark's column of a depth-sweep timing grid: machine depth
+// variants × the classic table predictors, all on the default cache
+// geometry — the regime timing fusion targets, where per-lane predictor
+// work is a couple of table accesses and the per-cell trace walk, batch
+// decode and sidecar lookups dominate. Heavy lanes (overriding perceptron)
+// are compute-bound and amortize nothing but the shared walk; they ride
+// the experiment benchmarks above, not this gate. ---
+
+// timingFusionLanes is the gate column: depths {10,20,30,40} off the
+// Table 1 machine (shared cache geometry), each swept over gshare budgets
+// {4K,16K,64K} — a 12-lane column.
+func timingFusionLanes(b *testing.B) []branchsim.TimingLane {
+	b.Helper()
+	var lanes []branchsim.TimingLane
+	for _, depth := range []int{10, 20, 30, 40} {
+		cfg := branchsim.DefaultMachine()
+		cfg.PipelineDepth = depth
+		cfg.FrontEndDepth = depth / 2
+		for _, budget := range []int{4 << 10, 16 << 10, 64 << 10} {
+			p, err := branchsim.NewPredictorByName("gshare", budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lanes = append(lanes, branchsim.TimingLane{Cfg: cfg, Pred: p})
+		}
+	}
+	return lanes
+}
+
+// BenchmarkFusedTimingSweep runs the column through RunTimingMany: one
+// trace pass and one sidecar feed every pipeline configuration.
+func BenchmarkFusedTimingSweep(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	rec := branchsim.RecordWorkload(bench, timingSweepInsts)
+	side := branchsim.NewMemSidecar(rec, branchsim.DefaultMachine())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lanes := timingFusionLanes(b)
+		res := branchsim.RunTimingMany(lanes, rec.Replay(), side, timingSweepInsts, timingSweepWarmup)
+		if len(res) != len(lanes) {
+			b.Fatal("degenerate fused timing sweep")
+		}
+		for _, r := range res {
+			timingSweepCell(b, r)
+		}
+	}
+}
+
+// BenchmarkFusedTimingSweepPerCell is the identical column down the
+// per-cell path fusion replaced: every lane replays the recording itself
+// through RunTimingFast (sidecar warm — this is the fast path of
+// BENCH_timing.json, not the live-cache slow path). The ratio of this to
+// BenchmarkFusedTimingSweep is the fused_speedup gate of
+// BENCH_timingfusion.json.
+func BenchmarkFusedTimingSweepPerCell(b *testing.B) {
+	bench, _ := branchsim.BenchmarkByName("gcc")
+	rec := branchsim.RecordWorkload(bench, timingSweepInsts)
+	side := branchsim.NewMemSidecar(rec, branchsim.DefaultMachine())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lane := range timingFusionLanes(b) {
+			timingSweepCell(b, branchsim.RunTimingFast(lane.Cfg, lane.Pred, rec, side, timingSweepInsts, timingSweepWarmup))
+		}
+	}
+}
+
 // --- Cell store + scheduler benchmarks (scripts/bench.sh → BENCH_grid.json).
 // The same design-point column as the timing sweep above, but exercised
 // through the persistence and planner layers: a cold run simulates every

@@ -245,6 +245,23 @@ func RunTimingFast(cfg MachineConfig, p Predictor, rec *Recording, side *MemSide
 	return sim.Run(rec.Replay(), maxInsts, warmupInsts)
 }
 
+// TimingLane is one (machine config, predictor organization) cell of a
+// fused timing sweep. Lane configs may vary pipeline shape, latencies and
+// BTB freely but must share one cache geometry — RunTimingMany panics on a
+// mixed batch.
+type TimingLane = pipeline.Lane
+
+// RunTimingMany replays one workload through every lane's pipeline at
+// once: each instruction batch is decoded once and stepped through all
+// lanes, so the trace walk, batch decode and sidecar lookups are paid once
+// per sweep instead of once per cell. Results are index-aligned with lanes
+// and bit-identical to running each lane alone through RunTiming /
+// RunTimingFast. A nil or non-covering sidecar falls back to per-lane live
+// cache simulation, still in one pass.
+func RunTimingMany(lanes []TimingLane, src Source, side *MemSidecar, maxInsts, warmupInsts int64) []TimingResult {
+	return pipeline.RunMany(lanes, src, side, maxInsts, warmupInsts)
+}
+
 // TimingMode selects the predictor organization for timing cells: Ideal
 // gives every predictor a single-cycle response; Realistic puts complex
 // predictors behind a 2K-entry quick gshare in the overriding organization.

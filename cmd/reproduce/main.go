@@ -119,6 +119,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "(grid fusion: %d fused trace passes run (%.1f lanes each); %d accuracy cells served fused, %d solo)\n",
 			groups, meanLanes, fusedCells, soloCells)
+		tgroups, tlanes, tfusedCells, tsoloCells := experiments.TimingFusionStats()
+		tmeanLanes := 0.0
+		if tgroups > 0 {
+			tmeanLanes = float64(tlanes) / float64(tgroups)
+		}
+		fmt.Fprintf(os.Stderr, "(timing fusion: %d fused timing passes run (%.1f lanes each); %d timing cells served fused, %d solo)\n",
+			tgroups, tmeanLanes, tfusedCells, tsoloCells)
 		if store != nil {
 			s := store.Stats()
 			fmt.Fprintf(os.Stderr, "(result store: %d cells served from disk, %d cold cells computed, %d invalid entries recomputed; %d cells written back, %d write errors)\n",

@@ -1,0 +1,28 @@
+package fix
+
+// The fused timing sweep's lane step shape: the closure-per-lane variant.
+// Capturing the lane cursor in a function literal allocates one heap
+// closure per lane per batch — the structure the analyzer must reject
+// (timing.go in the good fixture holds the accepted hoisted-locals
+// structure-of-arrays twin).
+
+type timingCursor struct {
+	fetchCycle uint64
+	lastCommit uint64
+}
+
+//bplint:hotpath fused timing lane sweep, closure-per-lane shape
+func sweepClosures(cursors []timingCursor, lats []uint64) {
+	for li := range cursors {
+		cu := &cursors[li]
+		advance := func(lat uint64) { // want "closure literal allocates in a hot path"
+			cu.fetchCycle += lat
+			if c := cu.fetchCycle + 1; c > cu.lastCommit {
+				cu.lastCommit = c
+			}
+		}
+		for _, lat := range lats {
+			advance(lat)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package fix
+
+// The fused timing sweep's lane step shape: each lane's pipeline cursor
+// lives in an index-aligned SoA slice, is hoisted into locals for the
+// per-instruction stage arithmetic, and is written back once at the end of
+// the lane's step — nothing escapes, nothing boxes. The accepted twin of
+// the closure-per-lane variant in the bad fixture, and the shape
+// pipeline's fused sweeps use.
+
+type timingCursor struct {
+	fetchCycle uint64
+	lastCommit uint64
+}
+
+//bplint:hotpath fused timing lane sweep, structure-of-arrays cursors
+func sweepLanes(cursors []timingCursor, lats []uint64) {
+	for li := range cursors {
+		cu := &cursors[li]
+		fetchCycle := cu.fetchCycle
+		lastCommit := cu.lastCommit
+		for _, lat := range lats {
+			fetchCycle += lat
+			if c := fetchCycle + 1; c > lastCommit {
+				lastCommit = c
+			}
+		}
+		cu.fetchCycle = fetchCycle
+		cu.lastCommit = lastCommit
+	}
+}

@@ -54,10 +54,9 @@ func DelayedUpdate(opts Options) *Outcome {
 			plan.addAccuracy("gshare.fast", accOrg, budget,
 				func() predictor.Predictor { return makePred(lag) }, prof,
 				func(res funcsim.Result) { mr[i][pi] = res.MispredictPercent() })
-			plan.add(planKey("timing", "gshare.fast", timOrg, budget, prof.Name), func() {
-				ipc[i][pi] = cellCustom(pipeline.DefaultConfig(), "gshare.fast", timOrg, budget,
-					func() predictor.Predictor { return makePred(lag) }, prof, opts).IPC()
-			})
+			plan.addTiming(pipeline.DefaultConfig(), "gshare.fast", timOrg, budget,
+				func() predictor.Predictor { return makePred(lag) }, prof,
+				func(res pipeline.Result) { ipc[i][pi] = res.IPC() })
 		}
 	}
 	plan.execute(opts)
@@ -101,8 +100,8 @@ func OverrideRate(opts Options) *Outcome {
 	var plan cellPlan
 	for pi, prof := range profiles {
 		for ki, kind := range kinds {
-			plan.add(planKey("timing", kind, timingOrg(kind, Realistic), budget, prof.Name), func() {
-				values[pi][ki] = 100 * Cell(kind, budget, Realistic, prof, opts).OverrideRate
+			plan.addCell(kind, budget, Realistic, prof, func(res pipeline.Result) {
+				values[pi][ki] = 100 * res.OverrideRate
 			})
 		}
 	}
@@ -270,16 +269,15 @@ func QuickSizeSweep(opts Options) *Outcome {
 			org = fmt.Sprintf("override.q%d", size)
 		}
 		for pi, prof := range profiles {
-			plan.add(planKey("timing", "perceptron", org, budget, prof.Name), func() {
-				res := cellCustom(pipeline.DefaultConfig(), "perceptron", org, budget,
-					func() predictor.Predictor {
-						slow := mustPredictor("perceptron", budget)
-						lat := delaymodel.Default.ForPredictor(slow)
-						return core.NewOverriding(predictor.NewGShare(size, 0), slow, lat)
-					}, prof, opts)
-				ipcs[i][pi] = res.IPC()
-				overrides[i][pi] = 100 * res.OverrideRate
-			})
+			plan.addTiming(pipeline.DefaultConfig(), "perceptron", org, budget,
+				func() predictor.Predictor {
+					slow := mustPredictor("perceptron", budget)
+					lat := delaymodel.Default.ForPredictor(slow)
+					return core.NewOverriding(predictor.NewGShare(size, 0), slow, lat)
+				}, prof, func(res pipeline.Result) {
+					ipcs[i][pi] = res.IPC()
+					overrides[i][pi] = 100 * res.OverrideRate
+				})
 		}
 	}
 	plan.execute(opts)
@@ -327,17 +325,16 @@ func DepthSweep(opts Options) *Outcome {
 		cfg.FrontEndDepth = depth / 2
 		// The depth-20 row's canonical config equals the Table 1 machine's,
 		// so both of its columns are figure cells at this budget; other
-		// depths get distinct config keys.
-		machine := fmt.Sprintf("depth=%d", depth)
+		// depths get distinct config keys. All depths share the default
+		// cache geometry, so under fusion the whole sweep is one group per
+		// benchmark.
 		for pi, prof := range profiles {
-			plan.add(planKey("timing", "gshare.fast", "ideal", budget, prof.Name, machine), func() {
-				fast[i][pi] = cellCustom(cfg, "gshare.fast", "ideal", budget,
-					func() predictor.Predictor { return NewGShareFast(budget) }, prof, opts).IPC()
-			})
-			plan.add(planKey("timing", "perceptron", "override", budget, prof.Name, machine), func() {
-				over[i][pi] = cellCustom(cfg, "perceptron", "override", budget,
-					func() predictor.Predictor { return mustOverriding("perceptron", budget) }, prof, opts).IPC()
-			})
+			plan.addTiming(cfg, "gshare.fast", "ideal", budget,
+				func() predictor.Predictor { return NewGShareFast(budget) }, prof,
+				func(res pipeline.Result) { fast[i][pi] = res.IPC() })
+			plan.addTiming(cfg, "perceptron", "override", budget,
+				func() predictor.Predictor { return mustOverriding("perceptron", budget) }, prof,
+				func(res pipeline.Result) { over[i][pi] = res.IPC() })
 		}
 	}
 	plan.execute(opts)
@@ -393,8 +390,8 @@ func FastFamily(opts Options) *Outcome {
 			plan.addAccuracy(kind, "", budget,
 				func() predictor.Predictor { return mustPredictor(kind, budget) }, prof,
 				func(res funcsim.Result) { rates[i][pi] = res.MispredictPercent() })
-			plan.add(planKey("timing", kind, timingOrg(kind, mode), budget, prof.Name), func() {
-				ipcs[i][pi] = Cell(kind, budget, mode, prof, opts).IPC()
+			plan.addCell(kind, budget, mode, prof, func(res pipeline.Result) {
+				ipcs[i][pi] = res.IPC()
 			})
 		}
 	}
@@ -438,15 +435,14 @@ func Recovery(opts Options) *Outcome {
 		// "ideal" cells the figures sweep — while the uncheckpointed
 		// wrapper is its own memo organization.
 		for pi, prof := range profiles {
-			plan.add(planKey("timing", "gshare.fast", "ideal", budget, prof.Name), func() {
-				with[i][pi] = Cell("gshare.fast", budget, Ideal, prof, opts).IPC()
+			plan.addCell("gshare.fast", budget, Ideal, prof, func(res pipeline.Result) {
+				with[i][pi] = res.IPC()
 			})
-			plan.add(planKey("timing", "gshare.fast", "nockpt", budget, prof.Name), func() {
-				without[i][pi] = cellCustom(pipeline.DefaultConfig(), "gshare.fast", "nockpt", budget,
-					func() predictor.Predictor {
-						return core.WithoutCheckpointing(NewGShareFast(budget))
-					}, prof, opts).IPC()
-			})
+			plan.addTiming(pipeline.DefaultConfig(), "gshare.fast", "nockpt", budget,
+				func() predictor.Predictor {
+					return core.WithoutCheckpointing(NewGShareFast(budget))
+				}, prof,
+				func(res pipeline.Result) { without[i][pi] = res.IPC() })
 		}
 	}
 	plan.execute(opts)

@@ -88,6 +88,15 @@ func (m *AccuracyMemo) stats() (cells int, hits int64) {
 	return len(m.entries), m.hits
 }
 
+// resolve publishes the entry's Result: the first caller's compute runs
+// inside the once, duplicates (concurrent or later) wait and share it. It
+// is the entry's only publication path — result() and the fused
+// scheduler's lanes both go through it.
+func (e *accuracyEntry) resolve(compute func() funcsim.Result) funcsim.Result {
+	e.once.Do(func() { e.res = compute() })
+	return e.res
+}
+
 // result returns the memoized Result for key, calling compute on first
 // use.
 func (m *AccuracyMemo) result(key accuracyKey, compute func() funcsim.Result) funcsim.Result {
@@ -100,8 +109,7 @@ func (m *AccuracyMemo) result(key accuracyKey, compute func() funcsim.Result) fu
 		m.hits++
 	}
 	m.mu.Unlock()
-	e.once.Do(func() { e.res = compute() })
-	return e.res
+	return e.resolve(compute)
 }
 
 // cell returns the accuracy Result for the canonical (kind, org, budget,
@@ -175,4 +183,41 @@ func (m *AccuracyMemo) specCell(s accuracySpec, opts Options) funcsim.Result {
 	return m.cell(s.kind, s.org, "", s.budget, s.prof, opts, func() funcsim.Result {
 		return runSpec(s, opts)
 	})
+}
+
+// acquireLanes is the fused scheduler's memo tier, one lock acquisition
+// for a whole group. Specs whose entry this call creates become owned
+// lanes — the fusion candidates; in-group duplicates of an owned key
+// attach their sink to its lane. Either way a lookup that finds an
+// existing entry is a memory hit, exactly as in result() — fusion must
+// not change the memo's accounting. Entries that predate the group
+// (another experiment's cells, e.g. Figure 6 revisiting Figure 5's 64 KB
+// column) are not ours to simulate: they come back preowned and resolve
+// solo.
+func (m *AccuracyMemo) acquireLanes(specs []accuracySpec, opts Options) (owned, preowned []*fusedLane[accuracySpec, funcsim.Result]) {
+	byKey := make(map[accuracyKey]*fusedLane[accuracySpec, funcsim.Result], len(specs))
+	m.mu.Lock()
+	for _, s := range specs {
+		key := specKey(s, opts)
+		if l := byKey[key]; l != nil {
+			m.hits++
+			l.sinks = append(l.sinks, s.sink)
+			continue
+		}
+		e := m.entries[key]
+		l := &fusedLane[accuracySpec, funcsim.Result]{spec: s, sinks: []func(funcsim.Result){s.sink}}
+		if e != nil {
+			m.hits++
+			l.resolve = e.resolve
+			preowned = append(preowned, l)
+			continue
+		}
+		e = &accuracyEntry{}
+		m.entries[key] = e
+		l.resolve = e.resolve
+		byKey[key] = l
+		owned = append(owned, l)
+	}
+	m.mu.Unlock()
+	return owned, preowned
 }

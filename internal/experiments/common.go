@@ -67,21 +67,22 @@ func SidecarStats() (sidecars int, bytes int64) {
 	return traceStore.SidecarLen(), traceStore.SidecarSizeBytes()
 }
 
-// FuseMode selects how a plan's accuracy cells execute. It is an
-// execution strategy, not an identity: both modes publish bit-identical
-// Results under the same canonical keys (TestFusedEquivalence), so the
-// knob exists only for A/B timing and for falling back if a platform ever
-// misbehaves.
+// FuseMode selects how a plan's accuracy and timing cells execute. It is
+// an execution strategy, not an identity: both modes publish bit-identical
+// Results under the same canonical keys (TestFusedEquivalence,
+// TestFusedTimingPlan), so the knob exists only for A/B timing and for
+// falling back if a platform ever misbehaves.
 type FuseMode int
 
 const (
 	// FuseAuto — the zero value, so fusion is the default — groups a
-	// plan's cold accuracy cells by benchmark and runs each group through
-	// funcsim.RunMany: one trace pass per benchmark feeds every predictor
-	// lane.
+	// plan's cold accuracy cells by benchmark and its cold timing cells by
+	// (benchmark, cache geometry), and runs each group through one fused
+	// trace pass (funcsim.RunMany / pipeline.RunMany): one cursor walk
+	// feeds every lane of the group.
 	FuseAuto FuseMode = iota
-	// FuseOff lowers every accuracy cell to its own per-cell funcsim.Run,
-	// the pre-fusion schedule (cmd/reproduce -nofuse).
+	// FuseOff lowers every accuracy and timing cell to its own per-cell
+	// run, the pre-fusion schedule (cmd/reproduce -nofuse).
 	FuseOff
 )
 
@@ -101,8 +102,9 @@ type Options struct {
 	// fresh computes are written back, making reruns incremental across
 	// processes. Nil keeps everything in-memory.
 	Store *resultstore.Store
-	// Fuse selects the accuracy cells' execution strategy; the zero value
-	// (FuseAuto) runs them grid-fused, one trace pass per benchmark.
+	// Fuse selects the accuracy and timing cells' execution strategy; the
+	// zero value (FuseAuto) runs them grid-fused, one trace pass per
+	// group.
 	Fuse FuseMode
 }
 

@@ -49,10 +49,10 @@ func TestFusedEquivalence(t *testing.T) {
 	solo := fusionGrid(&soloPlan, kinds, budgets, nBench)
 
 	fc := &FusionCounters{}
-	fusedPlan.executeWith(fusionTestOpts, NewAccuracyMemo(), fc)
+	fusedPlan.executeWith(fusionTestOpts, NewAccuracyMemo(), NewTimingMemo(), fc, &FusionCounters{})
 	off := fusionTestOpts
 	off.Fuse = FuseOff
-	soloPlan.executeWith(off, NewAccuracyMemo(), &FusionCounters{})
+	soloPlan.executeWith(off, NewAccuracyMemo(), NewTimingMemo(), &FusionCounters{}, &FusionCounters{})
 
 	for i := range fused {
 		if !reflect.DeepEqual(fused[i], solo[i]) {
@@ -79,7 +79,7 @@ func TestFusedMemoAccounting(t *testing.T) {
 	var plan cellPlan
 	first := fusionGrid(&plan, []string{"bimode"}, []int{8 << 10}, 2)
 	dup := fusionGrid(&plan, []string{"bimode"}, []int{8 << 10}, 2)
-	plan.executeWith(fusionTestOpts, memo, fc)
+	plan.executeWith(fusionTestOpts, memo, NewTimingMemo(), fc, &FusionCounters{})
 
 	if cells, hits := memo.stats(); cells != 2 || hits != 2 {
 		t.Fatalf("after duplicated plan: %d cells, %d hits; want 2 distinct cells, 2 duplicate hits", cells, hits)
@@ -95,7 +95,7 @@ func TestFusedMemoAccounting(t *testing.T) {
 	// A second plan over the same memo finds every entry pre-existing.
 	var again cellPlan
 	revisit := fusionGrid(&again, []string{"bimode"}, []int{8 << 10}, 2)
-	again.executeWith(fusionTestOpts, memo, fc)
+	again.executeWith(fusionTestOpts, memo, NewTimingMemo(), fc, &FusionCounters{})
 	if cells, hits := memo.stats(); cells != 2 || hits != 4 {
 		t.Fatalf("after revisit: %d cells, %d hits; want still 2 cells, 4 hits", cells, hits)
 	}
@@ -127,7 +127,7 @@ func TestFusedStoreFlow(t *testing.T) {
 	opts.Store = st1
 	var coldPlan cellPlan
 	cold := fusionGrid(&coldPlan, kinds, budgets, nBench)
-	coldPlan.executeWith(opts, NewAccuracyMemo(), &FusionCounters{})
+	coldPlan.executeWith(opts, NewAccuracyMemo(), NewTimingMemo(), &FusionCounters{}, &FusionCounters{})
 	if s := st1.Stats(); s.Misses != nCells || s.Writes != nCells || s.Hits != 0 {
 		t.Fatalf("cold store traffic = %+v, want %d misses, %d writes", s, nCells, nCells)
 	}
@@ -140,7 +140,7 @@ func TestFusedStoreFlow(t *testing.T) {
 	var warmPlan cellPlan
 	warm := fusionGrid(&warmPlan, kinds, budgets, nBench)
 	fcWarm := &FusionCounters{}
-	warmPlan.executeWith(opts, NewAccuracyMemo(), fcWarm)
+	warmPlan.executeWith(opts, NewAccuracyMemo(), NewTimingMemo(), fcWarm, &FusionCounters{})
 	if s := st2.Stats(); s.Hits != nCells || s.Misses != 0 || s.Invalidations != 0 {
 		t.Fatalf("warm store traffic = %+v, want %d hits", s, nCells)
 	}
@@ -160,7 +160,7 @@ func TestFusedStoreFlow(t *testing.T) {
 	opts.Fuse = FuseOff
 	var soloPlan cellPlan
 	solo := fusionGrid(&soloPlan, kinds, budgets, nBench)
-	soloPlan.executeWith(opts, NewAccuracyMemo(), &FusionCounters{})
+	soloPlan.executeWith(opts, NewAccuracyMemo(), NewTimingMemo(), &FusionCounters{}, &FusionCounters{})
 	if s := st3.Stats(); s.Hits != nCells {
 		t.Fatalf("-nofuse rerun store traffic = %+v, want %d hits", s, nCells)
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"branchsim/internal/funcsim"
+	"branchsim/internal/pipeline"
 	"branchsim/internal/predictor"
 	"branchsim/internal/workload"
 )
@@ -43,10 +44,28 @@ type accuracySpec struct {
 	sink   func(funcsim.Result)
 }
 
+// A timingSpec is one timing cell declared for fused scheduling, the
+// timing sibling of accuracySpec: the canonical (kind, org, budget,
+// machine, benchmark) identity, the predictor construction, and the sink
+// its Result fans back into. The scheduler decides, per (benchmark,
+// cache geometry) group and after the memo and store tiers resolve, which
+// specs still need simulation, and runs those together through one
+// pipeline.RunMany trace pass (fusion.go).
+type timingSpec struct {
+	kind   string
+	org    string
+	budget int
+	cfg    pipeline.Config
+	build  func() predictor.Predictor
+	prof   workload.Profile
+	sink   func(pipeline.Result)
+}
+
 // cellPlan accumulates an experiment's cells before execution.
 type cellPlan struct {
 	cells []PlannedCell
 	acc   []accuracySpec
+	tim   []timingSpec
 }
 
 func (p *cellPlan) add(key string, run func()) {
@@ -62,17 +81,26 @@ func (p *cellPlan) addAccuracy(kind, org string, budget int, build func() predic
 	p.acc = append(p.acc, accuracySpec{kind: kind, org: org, budget: budget, build: build, prof: prof, sink: sink})
 }
 
-// execute runs the plan: plain cells as scheduled, accuracy specs lowered
-// to one fused group per benchmark (FuseAuto) or to per-cell runs
-// (FuseOff). Both lowerings resolve through the same memo and store tiers
-// under the same keys, so the mode is invisible to results and caches.
-func (p *cellPlan) execute(opts Options) {
-	p.executeWith(opts, accuracyMemo, fusionCounters)
+// addTiming declares one timing cell on machine cfg, published under
+// exactly the same canonical key whether it later executes fused or
+// per-cell. As with cellCustom, callers must ensure that equal
+// (cfg.Canonical, kind, org, budget) always denotes an identical
+// construction.
+func (p *cellPlan) addTiming(cfg pipeline.Config, kind, org string, budget int, build func() predictor.Predictor, prof workload.Profile, sink func(pipeline.Result)) {
+	p.tim = append(p.tim, timingSpec{kind: kind, org: org, budget: budget, cfg: cfg, build: build, prof: prof, sink: sink})
 }
 
-// executeWith is execute with the process-wide accuracy memo and fusion
-// counters made explicit so tests can run plans against fresh ones.
-func (p *cellPlan) executeWith(opts Options, memo *AccuracyMemo, fc *FusionCounters) {
+// execute runs the plan: plain cells as scheduled, accuracy and timing
+// specs lowered to fused groups (FuseAuto) or to per-cell runs (FuseOff).
+// Both lowerings resolve through the same memo and store tiers under the
+// same keys, so the mode is invisible to results and caches.
+func (p *cellPlan) execute(opts Options) {
+	p.executeWith(opts, accuracyMemo, timingMemo, fusionCounters, timingFusionCounters)
+}
+
+// executeWith is execute with the process-wide memos and fusion counters
+// made explicit so tests can run plans against fresh ones.
+func (p *cellPlan) executeWith(opts Options, memo *AccuracyMemo, tmemo *TimingMemo, fc, tfc *FusionCounters) {
 	opts = opts.normalize()
 	cells := p.cells
 	if opts.Fuse == FuseOff {
@@ -82,27 +110,53 @@ func (p *cellPlan) executeWith(opts Options, memo *AccuracyMemo, fc *FusionCount
 				Run: func() { s.sink(memo.specCell(s, opts)) },
 			})
 		}
+		for _, s := range p.tim {
+			cells = append(cells, PlannedCell{
+				Key: planKey("timing", s.kind, s.org, s.budget, s.prof.Name),
+				Run: func() { s.sink(tmemo.specCell(s, opts)) },
+			})
+		}
 	} else {
-		for _, g := range groupByBench(p.acc) {
+		for _, g := range groupSpecs(p.acc, func(s accuracySpec) string { return s.prof.Name }) {
 			cells = append(cells, PlannedCell{
 				Key: fmt.Sprintf("accuracy.fused|bench=%s|lanes=%d", g[0].prof.Name, len(g)),
 				Run: func() { runFusedGroup(memo, fc, g, opts) },
+			})
+		}
+		for _, g := range groupSpecs(p.tim, timingGroupKey) {
+			cells = append(cells, PlannedCell{
+				Key: fmt.Sprintf("timing.fused|bench=%s|lanes=%d", g[0].prof.Name, len(g)),
+				Run: func() { runFusedTimingGroup(tmemo, tfc, g, opts) },
 			})
 		}
 	}
 	RunCells(opts.Parallel, cells)
 }
 
-// groupByBench buckets specs by benchmark in first-appearance order — the
-// fused unit is "one trace pass per benchmark".
-func groupByBench(specs []accuracySpec) [][]accuracySpec {
-	idx := make(map[string]int)
-	var groups [][]accuracySpec
+// timingGroup keys the fused timing unit: one trace pass per recorded
+// stream and cache geometry. Lanes in a group share the cursor and the
+// memory sidecar, so they must agree on both; the measurement window is
+// uniform across a plan (Options), so it needs no key component.
+type timingGroup struct {
+	bench string
+	seed  uint64
+	geom  pipeline.MemGeometry
+}
+
+func timingGroupKey(s timingSpec) timingGroup {
+	return timingGroup{bench: s.prof.Name, seed: s.prof.Seed, geom: pipeline.MemGeometryOf(s.cfg)}
+}
+
+// groupSpecs buckets specs by key in first-appearance order — the fused
+// unit is "one trace pass per group".
+func groupSpecs[S any, G comparable](specs []S, key func(S) G) [][]S {
+	idx := make(map[G]int)
+	var groups [][]S
 	for _, s := range specs {
-		i, ok := idx[s.prof.Name]
+		i, ok := idx[key(s)]
 		if !ok {
 			i = len(groups)
-			idx[s.prof.Name] = i
+			idx[key(s)] = i
 			groups = append(groups, nil)
 		}
 		groups[i] = append(groups[i], s)

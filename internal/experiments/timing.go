@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"branchsim/internal/pipeline"
 	"branchsim/internal/predictor"
 	"branchsim/internal/stats"
 	"branchsim/internal/textplot"
@@ -39,6 +40,15 @@ func timingOrg(kind string, mode TimingMode) string {
 	return "override"
 }
 
+// addCell declares the canonical (kind, budget, mode) timing cell on the
+// Table 1 machine — Cell's plan-schedulable form, resolving through the
+// same memo entry whether it later executes fused or per-cell.
+func (p *cellPlan) addCell(kind string, budget int, mode TimingMode, prof workload.Profile, sink func(pipeline.Result)) {
+	p.addTiming(pipeline.DefaultConfig(), kind, timingOrg(kind, mode), budget, func() predictor.Predictor {
+		return buildTimed(kind, budget, mode)
+	}, prof, sink)
+}
+
 // ipcSweep measures harmonic-mean IPC for each (kind, budget) pair. The
 // plan's cells are the distinct (kind, budget, benchmark) simulations; the
 // harmonic mean is reduced after the plan completes.
@@ -52,8 +62,8 @@ func ipcSweep(kinds []string, budgets []int, mode TimingMode, opts Options) *tex
 		for ki, kind := range kinds {
 			grid[bi][ki] = make([]float64, len(profiles))
 			for pi, prof := range profiles {
-				plan.add(planKey("timing", kind, timingOrg(kind, mode), budget, prof.Name), func() {
-					grid[bi][ki][pi] = Cell(kind, budget, mode, prof, opts).IPC()
+				plan.addCell(kind, budget, mode, prof, func(res pipeline.Result) {
+					grid[bi][ki][pi] = res.IPC()
 				})
 			}
 		}
@@ -139,8 +149,8 @@ func Figure8(opts Options) *Outcome {
 	var plan cellPlan
 	for pi, prof := range profiles {
 		for ki, kind := range kinds {
-			plan.add(planKey("timing", kind, timingOrg(kind, Realistic), budget, prof.Name), func() {
-				values[pi][ki] = Cell(kind, budget, Realistic, prof, opts).IPC()
+			plan.addCell(kind, budget, Realistic, prof, func(res pipeline.Result) {
+				values[pi][ki] = res.IPC()
 			})
 		}
 	}

@@ -79,9 +79,23 @@ var timingMemo = NewTimingMemo()
 // TimingMemoStats reports the process-wide timing memo's footprint: distinct
 // cells simulated and duplicate lookups served from memory.
 func TimingMemoStats() (cells int, hits int64) {
-	timingMemo.mu.Lock()
-	defer timingMemo.mu.Unlock()
-	return len(timingMemo.entries), timingMemo.hits
+	return timingMemo.stats()
+}
+
+// stats snapshots the memo's footprint: distinct entries and memory hits.
+func (m *TimingMemo) stats() (cells int, hits int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries), m.hits
+}
+
+// resolve publishes the entry's Result: the first caller's compute runs
+// inside the once, duplicates (concurrent or later) wait and share it. It
+// is the entry's only publication path — result() and the fused
+// scheduler's lanes both go through it.
+func (e *timingEntry) resolve(compute func() pipeline.Result) pipeline.Result {
+	e.once.Do(func() { e.res = compute() })
+	return e.res
 }
 
 // result returns the memoized Result for key, calling compute to simulate
@@ -96,8 +110,7 @@ func (m *TimingMemo) result(key timingKey, compute func() pipeline.Result) pipel
 		m.hits++
 	}
 	m.mu.Unlock()
-	e.once.Do(func() { e.res = compute() })
-	return e.res
+	return e.resolve(compute)
 }
 
 // Cell returns the timing Result for the canonical (kind, budget, mode)
@@ -136,24 +149,85 @@ func (m *TimingMemo) cellCustom(cfg pipeline.Config, kind, org string, budget in
 		cfg:    cfg.Canonical(),
 	}
 	return m.result(key, func() pipeline.Result {
-		if opts.Store == nil {
+		return storedComputeTiming(key, prof, opts, func() pipeline.Result {
 			return timingRunCfg(cfg, build, prof, opts)
-		}
-		skey := key.storeKey(traceDigest(prof, opts))
-		rec := opts.Store.Do(skey, func() resultstore.Record {
-			res := timingRunCfg(cfg, build, prof, opts)
-			return resultstore.Record{Key: skey, Timing: &res}
 		})
-		if rec.Timing == nil {
-			// A record can only lack its payload if some compute handed the
-			// store one; never serve a zero Result for it.
-			return timingRunCfg(cfg, build, prof, opts)
-		}
-		return *rec.Timing
 	})
 }
 
-// cellCustom delegates to the process-wide memo.
-func cellCustom(cfg pipeline.Config, kind, org string, budget int, build func() predictor.Predictor, prof workload.Profile, opts Options) pipeline.Result {
-	return timingMemo.cellCustom(cfg, kind, org, budget, build, prof, opts)
+// storedComputeTiming resolves one cold cell's computation through the
+// persistent store when one is configured — the timing counterpart of
+// storedCompute, shared by cellCustom's memo-miss path, the fused
+// scheduler's preowned fallback, and the FuseOff lowering.
+func storedComputeTiming(key timingKey, prof workload.Profile, opts Options, compute func() pipeline.Result) pipeline.Result {
+	if opts.Store == nil {
+		return compute()
+	}
+	skey := key.storeKey(traceDigest(prof, opts))
+	rec := opts.Store.Do(skey, func() resultstore.Record {
+		res := compute()
+		return resultstore.Record{Key: skey, Timing: &res}
+	})
+	if rec.Timing == nil {
+		// A record can only lack its payload if some compute handed the
+		// store one; never serve a zero Result for it.
+		return compute()
+	}
+	return *rec.Timing
+}
+
+// specTimingKey returns s's canonical memo key under opts (already
+// normalized).
+func specTimingKey(s timingSpec, opts Options) timingKey {
+	return timingKey{
+		kind:   s.kind,
+		org:    s.org,
+		budget: s.budget,
+		bench:  s.prof.Name,
+		seed:   s.prof.Seed,
+		insts:  opts.Insts,
+		warmup: opts.Warmup,
+		cfg:    s.cfg.Canonical(),
+	}
+}
+
+// specCell resolves one timing spec per-cell through the full
+// memo → store → simulate tier — the FuseOff lowering.
+func (m *TimingMemo) specCell(s timingSpec, opts Options) pipeline.Result {
+	return m.cellCustom(s.cfg, s.kind, s.org, s.budget, s.build, s.prof, opts)
+}
+
+// acquireLanes is the fused timing scheduler's memo tier, the timing
+// counterpart of (*AccuracyMemo).acquireLanes: one lock acquisition
+// classifies a group's specs into owned lanes (entries this call creates
+// — the fusion candidates, with in-group duplicates attached as extra
+// sinks) and preowned lanes (entries predating the group, resolved solo).
+// Every lookup that finds an existing entry counts a memory hit, exactly
+// as in result().
+func (m *TimingMemo) acquireLanes(specs []timingSpec, opts Options) (owned, preowned []*fusedLane[timingSpec, pipeline.Result]) {
+	byKey := make(map[timingKey]*fusedLane[timingSpec, pipeline.Result], len(specs))
+	m.mu.Lock()
+	for _, s := range specs {
+		key := specTimingKey(s, opts)
+		if l := byKey[key]; l != nil {
+			m.hits++
+			l.sinks = append(l.sinks, s.sink)
+			continue
+		}
+		e := m.entries[key]
+		l := &fusedLane[timingSpec, pipeline.Result]{spec: s, sinks: []func(pipeline.Result){s.sink}}
+		if e != nil {
+			m.hits++
+			l.resolve = e.resolve
+			preowned = append(preowned, l)
+			continue
+		}
+		e = &timingEntry{}
+		m.entries[key] = e
+		l.resolve = e.resolve
+		byKey[key] = l
+		owned = append(owned, l)
+	}
+	m.mu.Unlock()
+	return owned, preowned
 }

@@ -1,0 +1,1086 @@
+package pipeline
+
+import (
+	"math/bits"
+
+	"branchsim/internal/btb"
+	"branchsim/internal/cache"
+	"branchsim/internal/core"
+	"branchsim/internal/predictor"
+	"branchsim/internal/stats"
+	"branchsim/internal/trace"
+)
+
+// This file is the fused timing engine: one trace pass feeds every pipeline
+// configuration of a grid column at once. Sim.Run stays the per-cell
+// reference implementation — simple, instruction-at-a-time, the thing the
+// equivalence suite trusts — while RunMany is the throughput engine the
+// fused experiment scheduler drives. The two produce bit-identical Results
+// (TestFusedTimingEquivalence); RunMany is faster per lane because
+//
+//   - the 256-entry instruction batch is decoded once and its lane-invariant
+//     columns (fetch-block addresses, port classes, MemSidecar outcome
+//     classes and the latency classes derived from them) are computed once,
+//     then every lane consumes the shared batch;
+//   - lanes are interleaved per instruction: each lane's scoreboard update
+//     is a serial dependency chain (ring probe → reserve → commit), and
+//     stepping all lanes through one instruction before advancing lets those
+//     independent chains overlap in the host pipeline instead of running
+//     back to back;
+//   - the slot rings keep one count byte per cycle, eight cycles to a word
+//     (byteRing), so one reservation probe inspects eight cycles with two
+//     loads and a branch-free full-slot mask, and the ROB cursor wraps with
+//     a compare instead of an integer division.
+//
+// All lanes advance in lockstep over the shared batch, so the engine needs
+// no cross-lane synchronization: lanes never read each other's state, and
+// the only shared mutable values are the batch columns, written before the
+// lane sweep begins.
+
+// Lane is one pipeline configuration of a fused timing pass: a machine
+// config and the predictor organization driving its fetch stage. Every lane
+// of a RunMany call must share one cache geometry (MemGeometryOf), the
+// grouping the fused experiment scheduler guarantees — it is what lets one
+// trace pass and one memory sidecar serve the whole column.
+type Lane struct {
+	Cfg  Config
+	Pred predictor.Predictor
+}
+
+// RunMany replays up to maxInsts instructions from src through every lane
+// at once and returns the per-lane results, index-aligned with lanes. Each
+// lane's Result is bit-identical to
+//
+//	New(l.Cfg, l.Pred).SetMemSidecar(side); Run(src, maxInsts, warmupInsts)
+//
+// over its own replay of the same stream; the equivalence suite pins this.
+// As with Run, the sidecar is trusted only for a *trace.Cursor it covers;
+// any other source (or an uncovered cursor) simulates per-lane live caches.
+func RunMany(lanes []Lane, src trace.Source, side *MemSidecar, maxInsts, warmupInsts int64) []Result {
+	if len(lanes) == 0 {
+		return nil
+	}
+	geom := MemGeometryOf(lanes[0].Cfg)
+	for _, l := range lanes[1:] {
+		if MemGeometryOf(l.Cfg) != geom {
+			panic("pipeline: RunMany lanes must share one cache geometry")
+		}
+	}
+	f := newFusedRun(lanes, side, maxInsts, warmupInsts)
+	if cur, ok := src.(*trace.Cursor); ok {
+		// Same devirtualization as Run: the sidecar is only trusted for
+		// a cursor, whose stream identity and position are checkable.
+		// Geometry is lane-invariant (checked above), so covers for
+		// lanes[0] decides for the whole column.
+		f.sideActive = side != nil && side.covers(lanes[0].Cfg, cur)
+		f.driveCursor(cur)
+	} else if is, ok := src.(trace.InstSource); ok {
+		f.driveInstSource(is)
+	} else {
+		f.driveSource(src)
+	}
+	return f.finish(src.Name())
+}
+
+// byteRing is the fused engine's slot ring: one reservation count per
+// cycle, packed eight cycles to a word, so a probe inspects eight cycles
+// with one load. Where slotRing forgets a cycle when a younger one aliases
+// its slot, byteRing forgets by zeroing count bytes one lap ahead of the
+// scan frontier (laneRings.extend) — the same "a cycle older than ringSize
+// reads as empty" contract, amortized to a fraction of a store per cycle.
+type byteRing struct {
+	// w's byte c&7 of word (c&(ringSize-1))>>3 counts cycle c. The
+	// fixed-size array lets the masked index elide bounds checks in the
+	// scan loop.
+	w *[ringSize / 8]uint64
+	// limitRep is the slot limit replicated into every byte lane; a cycle
+	// is full exactly when its count byte equals the limit, since
+	// reservations only land on proven-free cycles.
+	limitRep uint64
+}
+
+const (
+	byteOneRep  = 0x0101010101010101
+	byteHighRep = 0x8080808080808080
+)
+
+func newByteRing(limit int) byteRing {
+	if limit <= 0 || limit > 127 {
+		panic("pipeline: byte ring limit out of range")
+	}
+	return byteRing{w: new([ringSize / 8]uint64), limitRep: uint64(limit) * byteOneRep}
+}
+
+// clearChunk is how far past the requested cycle extend zeroes in one call;
+// the hot path then skips the slow path for the next ~chunk cycles.
+const clearChunk = 512
+
+// extend zeroes the count bytes for cycles [clearedTo, t+clearChunk) in all
+// five rings, reclaiming slots exactly one lap (ringSize cycles) old. It
+// preserves the invariant that every cycle in [clearedTo-ringSize,
+// clearedTo) reads its own count and anything older reads as forgotten —
+// the aliasing contract slotRing's tag compare enforces per probe.
+func (rg *laneRings) extend(t uint64) {
+	to := (t + clearChunk) &^ 7
+	issue, p0, p1, p2, p3 := rg.issue.w, rg.ports[0].w, rg.ports[1].w, rg.ports[2].w, rg.ports[3].w
+	for c := rg.clearedTo; c < to; c += 8 {
+		i := (c & (ringSize - 1)) >> 3
+		issue[i] = 0
+		p0[i] = 0
+		p1[i] = 0
+		p2[i] = 0
+		p3[i] = 0
+	}
+	rg.clearedTo = to
+}
+
+// takeInBoth books the first cycle at or after t with a free slot in both
+// the issue ring and port ring p, and returns it: slotRing.take's
+// scan-then-reserve collapsed into one word-at-a-time pass. A count byte
+// equals its ring's limit iff the matching byte of count^limitRep is zero;
+// forcing each byte's high bit before the (now borrow-free) decrement
+// leaves the high bit set exactly for nonzero bytes, so the AND of the two
+// rings' masks has a high bit per free-in-both cycle and TrailingZeros
+// lands on the first one. The body is the loop-free first-word probe —
+// the common case, kept inlineable in the lane sweeps — and takeScan
+// continues word by word when the first word is booked solid.
+func (rg *laneRings) takeInBoth(p uint8, t uint64) uint64 {
+	if t+8 <= rg.clearedTo {
+		i := (t & (ringSize - 1)) >> 3
+		zx := rg.issue.w[i] ^ rg.issue.limitRep
+		zy := rg.ports[p].w[i] ^ rg.ports[p].limitRep
+		free := ((zx | byteHighRep) - byteOneRep) & ((zy | byteHighRep) - byteOneRep) & byteHighRep
+		free &= ^uint64(0) << ((t & 7) * 8) // cycles before t are not candidates
+		if free != 0 {
+			j := uint64(bits.TrailingZeros64(free)) >> 3
+			sh := j * 8
+			// Counts stay strictly below the ≤127 limit on free cycles, so
+			// the byte increments cannot carry into a neighbor.
+			rg.issue.w[i] += 1 << sh
+			rg.ports[p].w[i] += 1 << sh
+			return t&^7 + j
+		}
+		t = t&^7 + 8
+	}
+	return rg.takeScan(p, t)
+}
+
+// takeScan is takeInBoth's slow path: extend the zeroed horizon when the
+// probe has outrun it, then scan whole words until a free-in-both cycle
+// appears. Entered either at an uncleared cycle or at a word boundary past
+// a fully booked word.
+func (rg *laneRings) takeScan(p uint8, t uint64) uint64 {
+	iw := rg.issue.w
+	pw := rg.ports[p].w
+	il := rg.issue.limitRep
+	pl := rg.ports[p].limitRep
+	for {
+		if t+8 > rg.clearedTo {
+			rg.extend(t)
+		}
+		i := (t & (ringSize - 1)) >> 3
+		zx := iw[i] ^ il
+		zy := pw[i] ^ pl
+		free := ((zx | byteHighRep) - byteOneRep) & ((zy | byteHighRep) - byteOneRep) & byteHighRep
+		free &= ^uint64(0) << ((t & 7) * 8) // cycles before t are not candidates
+		if free != 0 {
+			j := uint64(bits.TrailingZeros64(free)) >> 3
+			sh := j * 8
+			iw[i] += 1 << sh
+			pw[i] += 1 << sh
+			return t&^7 + j
+		}
+		t = t&^7 + 8
+	}
+}
+
+// Port classes: the shared pcls column maps each instruction to its lane's
+// issue port ring, and the lcls column to its execution-latency table slot.
+const (
+	portInt = iota
+	portMem
+	portMul
+	portFP
+	numPorts
+)
+
+const (
+	latOne     = iota // single-cycle: ALU, branches, jumps, stores
+	latMul            // MulLatency
+	latFP             // FPLatency
+	latLoadL1         // load, L1D hit
+	latLoadL2         // load, L2 hit
+	latLoadMem        // load, memory
+	numLats
+)
+
+// laneConst is a lane's config, predigested: the per-instruction constants
+// the step loop needs, extracted once so the hot loop reads a flat SoA
+// entry instead of Config fields. fLat maps sidecar fetch classes to this
+// lane's fetch stall; latTab maps lcls latency classes to execution
+// latencies.
+type laneConst struct {
+	feDepth     uint64
+	btbPenalty  uint64
+	recovery    uint64
+	commitWidth uint64
+	fetchWidth  int
+	robSize     int
+	fLat        [4]uint64 // by fetch class: none, L1, L2, mem
+	latTab      [numLats]uint64
+	l2Lat       uint64
+	memLat      uint64
+}
+
+// laneOrg is a lane's predictor organization: the predictor and its
+// pre-resolved capability interfaces, mirroring Sim's over/cycleAware
+// fields.
+type laneOrg struct {
+	pred       predictor.Predictor
+	over       *core.Overriding
+	cycleAware predictor.CycleAware
+}
+
+// laneRings is a lane's issue-bandwidth and port scoreboard plus its ROB
+// commit window. The port rings are indexed by the shared pcls column.
+// There is no commit ring: commit probes are monotone non-decreasing
+// (commitAt is clamped to lastCommit and take only moves forward), so a
+// probed cycle is never revisited after a later one and slotRing's
+// forget-on-alias ring degenerates to the (lastCommit, commitUsed) scalar
+// pair in laneCursor — bit-identical by construction.
+type laneRings struct {
+	issue      byteRing
+	ports      [numPorts]byteRing
+	commitRing []uint64
+	// clearedTo is the rings' zeroed horizon: count bytes are valid for
+	// cycles in [clearedTo-ringSize, clearedTo) and zero from the scan
+	// frontier up to clearedTo; extend advances it in clearChunk strides.
+	clearedTo uint64
+}
+
+// laneCaches is a lane's live memory hierarchy, exercised only when no
+// sidecar covers the run.
+type laneCaches struct {
+	icache *cache.Cache
+	dcache *cache.Cache
+	l2     *cache.Cache
+}
+
+// laneCursor is a lane's mutable scalar state between instructions. One
+// entry spans a single cache line, so the per-instruction lane sweep
+// touches one hot line per lane.
+type laneCursor struct {
+	fetchCycle     uint64
+	lastFetchBlock uint64
+	lastCommit     uint64
+	commitUsed     uint64 // commits taken at cycle lastCommit
+	fetchStall     uint64
+	warmupCycle    uint64
+	fetchUsed      int
+	robIdx         int
+}
+
+// laneTallies is a lane's statistics: branch and BTB rates, and the
+// I-side sidecar class histogram (fetch accesses depend on the lane's own
+// redirect pattern, so the column cannot be shared the way the D-side one
+// is — see fusedRun.lT).
+type laneTallies struct {
+	branches     stats.Rate
+	measBranches stats.Rate
+	overrides    stats.Rate
+	btbMisses    stats.Rate
+	fT           [4]uint64
+}
+
+// fusedRun is the engine state: per-lane state in index-aligned SoA slices
+// (one slice per state family, all indexed by lane), the shared stream
+// cursor, and the shared per-batch columns.
+type fusedRun struct {
+	consts  []laneConst
+	orgs    []laneOrg
+	rings   []laneRings
+	btbs    []*btb.BTB
+	caches  []laneCaches
+	cursors []laneCursor
+	tallies []laneTallies
+	regs    [][trace.NumRegs]uint64 // per-lane register-ready cycles
+
+	insts       int64 // instructions fed to every lane so far
+	maxInsts    int64
+	warmupInsts int64
+	blockMask   uint64
+	side        *MemSidecar
+	sideActive  bool
+
+	// lT and sT are the D-side sidecar class histograms. Loads and stores
+	// access the D-cache unconditionally in program order, so — unlike the
+	// I-side — every lane's tally is identical and one shared count
+	// serves the whole column.
+	lT [4]uint64
+	sT [4]uint64
+
+	// Shared per-batch columns, computed once per batch by prep.
+	batch  [trace.InstBatchLen]trace.Inst
+	blocks [trace.InstBatchLen]uint64
+	pcls   [trace.InstBatchLen]uint8
+	lcls   [trace.InstBatchLen]uint8
+	fcls   [trace.InstBatchLen]uint8
+	mcls   [trace.InstBatchLen]uint8
+}
+
+// newFusedRun builds the per-lane SoA state for one fused pass.
+func newFusedRun(lanes []Lane, side *MemSidecar, maxInsts, warmupInsts int64) *fusedRun {
+	n := len(lanes)
+	f := &fusedRun{
+		consts:      make([]laneConst, n),
+		orgs:        make([]laneOrg, n),
+		rings:       make([]laneRings, n),
+		btbs:        make([]*btb.BTB, n),
+		caches:      make([]laneCaches, n),
+		cursors:     make([]laneCursor, n),
+		tallies:     make([]laneTallies, n),
+		regs:        make([][trace.NumRegs]uint64, n),
+		maxInsts:    maxInsts,
+		warmupInsts: warmupInsts,
+		side:        side,
+		blockMask:   ^uint64(int64(lanes[0].Cfg.L1I.LineBytes) - 1),
+	}
+	for i, l := range lanes {
+		cfg := l.Cfg
+		if cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.CommitWidth <= 0 {
+			panic("pipeline: invalid widths in fused lane config")
+		}
+		if cfg.ROBSize <= 0 {
+			panic("pipeline: ROB size must be positive")
+		}
+		k := &f.consts[i]
+		k.feDepth = uint64(cfg.frontEndDepth())
+		k.btbPenalty = uint64(cfg.BTBMissPenalty)
+		k.commitWidth = uint64(cfg.CommitWidth)
+		k.fetchWidth = cfg.FetchWidth
+		k.robSize = cfg.ROBSize
+		k.l2Lat = uint64(cfg.L2Latency)
+		k.memLat = uint64(cfg.MemLatency)
+		k.fLat = [4]uint64{0, 0, k.l2Lat, k.memLat}
+		k.latTab = [numLats]uint64{
+			latOne:     1,
+			latMul:     uint64(cfg.MulLatency),
+			latFP:      uint64(cfg.FPLatency),
+			latLoadL1:  uint64(cfg.L1DLatency),
+			latLoadL2:  k.l2Lat,
+			latLoadMem: k.memLat,
+		}
+
+		o := &f.orgs[i]
+		o.pred = l.Pred
+		o.over, _ = l.Pred.(*core.Overriding)
+		o.cycleAware, _ = l.Pred.(predictor.CycleAware)
+		if rc, ok := l.Pred.(predictor.RecoveryCost); ok {
+			k.recovery = uint64(rc.RecoveryPenalty())
+		}
+
+		f.rings[i] = laneRings{
+			issue: newByteRing(cfg.IssueWidth),
+			ports: [numPorts]byteRing{
+				portInt: newByteRing(cfg.IntPorts),
+				portMem: newByteRing(cfg.MemPorts),
+				portMul: newByteRing(cfg.MulPorts),
+				portFP:  newByteRing(cfg.FPPorts),
+			},
+			commitRing: make([]uint64, cfg.ROBSize),
+			// The freshly zeroed arrays already cover the first lap.
+			clearedTo: ringSize,
+		}
+		f.btbs[i] = btb.New(cfg.BTBEntries, cfg.BTBWays)
+		f.caches[i] = laneCaches{
+			icache: cache.New(cfg.L1I),
+			dcache: cache.New(cfg.L1D),
+			l2:     cache.New(cfg.L2),
+		}
+	}
+	return f
+}
+
+// driveCursor is the fused drive loop specialized to the concrete replay
+// cursor, mirroring runCursor: devirtualized batch fill, then the lane
+// sweep over the shared batch.
+//
+//bplint:hotpath fused timing drive loop; TestFusedTimingAllocs pins allocs/op to zero
+func (f *fusedRun) driveCursor(cur *trace.Cursor) {
+	for f.insts < f.maxInsts {
+		lim := len(f.batch)
+		if want := f.maxInsts - f.insts; int64(lim) > want {
+			lim = int(want)
+		}
+		n := cur.NextInsts(f.batch[:lim])
+		if n == 0 {
+			return
+		}
+		f.runBatch(n)
+	}
+}
+
+// driveInstSource is the fused drive loop over any batch-capable source.
+func (f *fusedRun) driveInstSource(is trace.InstSource) {
+	for f.insts < f.maxInsts {
+		lim := len(f.batch)
+		if want := f.maxInsts - f.insts; int64(lim) > want {
+			lim = int(want)
+		}
+		n := is.NextInsts(f.batch[:lim])
+		if n == 0 {
+			return
+		}
+		f.runBatch(n)
+	}
+}
+
+// driveSource is the fused drive loop over a plain Source: the batch is
+// assembled one Next call at a time, then consumed exactly as a decoded
+// one. Batch boundaries do not influence the scoreboard, so results are
+// identical to the per-instruction reference loop.
+func (f *fusedRun) driveSource(src trace.Source) {
+	for f.insts < f.maxInsts {
+		lim := len(f.batch)
+		if want := f.maxInsts - f.insts; int64(lim) > want {
+			lim = int(want)
+		}
+		n := 0
+		for n < lim && src.Next(&f.batch[n]) {
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		f.runBatch(n)
+	}
+}
+
+// runBatch precomputes the shared columns, resolves the warm-up boundary to
+// a batch split so the step loop takes a constant measured flag, and sweeps
+// the lanes.
+//
+//bplint:hotpath runs once per 256-instruction batch in fused sweeps
+func (f *fusedRun) runBatch(n int) {
+	f.prep(n)
+	if d := f.warmupInsts - f.insts; d >= 0 && d < int64(n) {
+		// The boundary falls inside this batch: step up to it, snapshot
+		// each lane's commit cycle (Sim.step does this at the boundary
+		// instruction, before stepping it), then step the measured rest.
+		k := int(d)
+		f.stepAll(0, k, false)
+		for li := range f.cursors {
+			f.cursors[li].warmupCycle = f.cursors[li].lastCommit
+		}
+		f.stepAll(k, n, true)
+	} else if d >= int64(n) {
+		f.stepAll(0, n, false)
+	} else {
+		f.stepAll(0, n, true)
+	}
+	f.insts += int64(n)
+}
+
+// prep computes the lane-invariant columns of the current batch: each
+// instruction's fetch-block address (the lanes share one I-cache geometry),
+// its port and latency classes, and — when a sidecar covers the run — its
+// unpacked fetch and mem outcome classes plus the shared D-side tallies.
+//
+//bplint:hotpath runs once per 256-instruction batch in fused sweeps
+func (f *fusedRun) prep(n int) {
+	for i := 0; i < n; i++ {
+		f.blocks[i] = f.batch[i].PC&f.blockMask + 1
+	}
+	if f.sideActive {
+		cls := f.side.class[f.insts : f.insts+int64(n)]
+		for i := 0; i < n; i++ {
+			c := cls[i]
+			f.fcls[i] = c & sideFetchMask >> sideFetchShift
+			f.mcls[i] = c & sideMemMask >> sideMemShift
+		}
+	}
+	for i := 0; i < n; i++ {
+		var pc, lc uint8
+		switch f.batch[i].Kind {
+		case trace.Load:
+			pc = portMem
+			if f.sideActive {
+				// Mirror loadLatency's switch: L1 and L2 explicit,
+				// anything else charged as memory.
+				switch f.mcls[i] {
+				case sideMemL1:
+					lc = latLoadL1
+				case sideMemL2:
+					lc = latLoadL2
+				default:
+					lc = latLoadMem
+				}
+				f.lT[f.mcls[i]]++
+			} else {
+				lc = latLoadL1 // placeholder; live path probes its own caches
+			}
+		case trace.Store:
+			pc, lc = portMem, latOne
+			if f.sideActive {
+				f.sT[f.mcls[i]]++
+			}
+		case trace.Mul:
+			pc, lc = portMul, latMul
+		case trace.FPU:
+			pc, lc = portFP, latFP
+		default: // ALU, CondBranch, Jump
+			pc, lc = portInt, latOne
+		}
+		f.pcls[i] = pc
+		f.lcls[i] = lc
+	}
+}
+
+// advanceTo is Sim.advanceFetch on stepAll's hoisted locals: move the
+// fetch point to at least cycle t, accounting the skipped cycles as stall.
+func advanceTo(t, fetchCycle uint64, fetchUsed int, lastBlock, stall uint64) (uint64, int, uint64, uint64) {
+	if t > fetchCycle {
+		stall += t - fetchCycle
+		fetchCycle = t
+		fetchUsed = 0
+		lastBlock = 0
+	}
+	return fetchCycle, fetchUsed, lastBlock, stall
+}
+
+// stepAll advances every lane over batch instructions [lo, hi), dispatching
+// each instruction to the lane sweep specialized for its control-flow kind:
+// the plain sweep (no prediction, no redirect, no resolution) serves the
+// large majority of instructions with every branch-unit test hoisted out of
+// the per-lane loop, and the branch and jump sweeps carry the prediction
+// and BTB stages only where they can fire. Each sweep's per-lane body is
+// Sim.step statement for statement — same stage order, same stall
+// arithmetic, same tally points — and TestFusedTimingEquivalence holds the
+// implementations together. measured is the constant truth of Sim.step's
+// per-branch warm-up comparison over this sub-batch; runBatch splits
+// batches so it never varies inside one call.
+//
+//bplint:hotpath fused per-lane batch step; runs once per instruction per lane
+func (f *fusedRun) stepAll(lo, hi int, measured bool) {
+	for i := lo; i < hi; i++ {
+		switch f.batch[i].Kind {
+		case trace.CondBranch:
+			f.sweepBranch(i, measured)
+		case trace.Jump:
+			f.sweepJump(i)
+		default:
+			f.sweepPlain(i)
+		}
+	}
+}
+
+// sweepPlain steps every lane through one non-control-flow instruction:
+// fetch, issue, commit. Branches and jumps never reach it, so the
+// prediction, redirect, and resolution stages are absent rather than
+// tested per lane.
+//
+//bplint:hotpath fused lane sweep for plain instructions
+func (f *fusedRun) sweepPlain(i int) {
+	consts := f.consts
+	nLanes := len(consts)
+	cursors := f.cursors[:nLanes]
+	rings := f.rings[:nLanes]
+	tallies := f.tallies[:nLanes]
+	regs := f.regs[:nLanes]
+	caches := f.caches[:nLanes]
+	sideActive := f.sideActive
+	inst := &f.batch[i]
+	pc := inst.PC
+	block := f.blocks[i]
+	pcl := f.pcls[i]
+	lcl := f.lcls[i]
+	fcl := f.fcls[i]
+	s1, s2, dst := inst.Src1, inst.Src2, inst.Dst
+	kind := inst.Kind
+
+	for li := 0; li < nLanes; li++ {
+		k := &consts[li]
+		cu := &cursors[li]
+		rg := &rings[li]
+		rr := &regs[li]
+
+		fetchCycle := cu.fetchCycle
+		fetchUsed := cu.fetchUsed
+		lastBlock := cu.lastFetchBlock
+		fetchStall := cu.fetchStall
+
+		// --- Fetch ---
+		if fetchUsed >= k.fetchWidth {
+			fetchCycle++
+			fetchUsed = 0
+			lastBlock = 0
+		}
+		if block != lastBlock {
+			if lastBlock != 0 {
+				fetchCycle++
+				fetchUsed = 0
+			}
+			var lat uint64
+			if sideActive {
+				tallies[li].fT[fcl]++
+				lat = k.fLat[fcl]
+			} else {
+				ch := &caches[li]
+				if !ch.icache.Access(pc) {
+					if ch.l2.Access(pc) {
+						lat = k.l2Lat
+					} else {
+						lat = k.memLat
+					}
+				}
+			}
+			if lat > 0 {
+				fetchCycle, fetchUsed, lastBlock, fetchStall =
+					advanceTo(fetchCycle+lat, fetchCycle, fetchUsed, lastBlock, fetchStall)
+			}
+			lastBlock = block
+		}
+		fetchAt := fetchCycle
+		fetchUsed++
+
+		// Keep fetch from running unboundedly ahead of commit.
+		robIdx := cu.robIdx
+		oldestCommit := rg.commitRing[robIdx]
+		dispatchAt := fetchAt + k.feDepth
+		if dispatchAt <= oldestCommit {
+			if oldestCommit+1 > k.feDepth {
+				fetchCycle, fetchUsed, lastBlock, fetchStall =
+					advanceTo(oldestCommit+1-k.feDepth, fetchCycle, fetchUsed, lastBlock, fetchStall)
+			}
+			fetchAt = fetchCycle
+			dispatchAt = fetchAt + k.feDepth
+		}
+
+		// --- Issue ---
+		ready := dispatchAt
+		if s1 >= 0 {
+			if t := rr[s1]; t > ready {
+				ready = t
+			}
+		}
+		if s2 >= 0 {
+			if t := rr[s2]; t > ready {
+				ready = t
+			}
+		}
+		execLat := k.latTab[lcl]
+		if kind == trace.Load && !sideActive {
+			ch := &caches[li]
+			if ch.dcache.Access(inst.Addr) {
+				execLat = k.latTab[latLoadL1]
+			} else if ch.l2.Access(inst.Addr) {
+				execLat = k.l2Lat
+			} else {
+				execLat = k.memLat
+			}
+		} else if kind == trace.Store && !sideActive {
+			caches[li].dcache.Access(inst.Addr)
+		}
+		issueAt := rg.takeInBoth(pcl, ready)
+		completeAt := issueAt + execLat
+
+		if dst >= 0 {
+			rr[dst] = completeAt
+		}
+
+		// --- Commit ---
+		lastCommit := cu.lastCommit
+		commitUsed := cu.commitUsed
+		commitAt := completeAt + 1
+		if commitAt > lastCommit {
+			lastCommit = commitAt
+			commitUsed = 1
+		} else if commitUsed < k.commitWidth {
+			commitUsed++ // in-order commit at the current cycle
+		} else {
+			lastCommit++ // commit bandwidth exhausted: next cycle
+			commitUsed = 1
+		}
+		rg.commitRing[robIdx] = lastCommit
+		robIdx++
+		if robIdx == k.robSize {
+			robIdx = 0
+		}
+
+		cu.fetchCycle = fetchCycle
+		cu.fetchUsed = fetchUsed
+		cu.lastFetchBlock = lastBlock
+		cu.lastCommit = lastCommit
+		cu.commitUsed = commitUsed
+		cu.fetchStall = fetchStall
+		cu.robIdx = robIdx
+	}
+}
+
+// sweepJump steps every lane through one unconditional jump: fetch, the
+// always-taken BTB redirect, issue, commit. No prediction and no
+// resolution — jumps never mispredict direction.
+//
+//bplint:hotpath fused lane sweep for jumps
+func (f *fusedRun) sweepJump(i int) {
+	consts := f.consts
+	nLanes := len(consts)
+	cursors := f.cursors[:nLanes]
+	rings := f.rings[:nLanes]
+	tallies := f.tallies[:nLanes]
+	btbs := f.btbs[:nLanes]
+	regs := f.regs[:nLanes]
+	caches := f.caches[:nLanes]
+	sideActive := f.sideActive
+	inst := &f.batch[i]
+	pc := inst.PC
+	block := f.blocks[i]
+	pcl := f.pcls[i]
+	lcl := f.lcls[i]
+	fcl := f.fcls[i]
+	s1, s2, dst := inst.Src1, inst.Src2, inst.Dst
+
+	for li := 0; li < nLanes; li++ {
+		k := &consts[li]
+		cu := &cursors[li]
+		rg := &rings[li]
+		rr := &regs[li]
+
+		fetchCycle := cu.fetchCycle
+		fetchUsed := cu.fetchUsed
+		lastBlock := cu.lastFetchBlock
+		fetchStall := cu.fetchStall
+
+		// --- Fetch ---
+		if fetchUsed >= k.fetchWidth {
+			fetchCycle++
+			fetchUsed = 0
+			lastBlock = 0
+		}
+		if block != lastBlock {
+			if lastBlock != 0 {
+				fetchCycle++
+				fetchUsed = 0
+			}
+			var lat uint64
+			if sideActive {
+				tallies[li].fT[fcl]++
+				lat = k.fLat[fcl]
+			} else {
+				ch := &caches[li]
+				if !ch.icache.Access(pc) {
+					if ch.l2.Access(pc) {
+						lat = k.l2Lat
+					} else {
+						lat = k.memLat
+					}
+				}
+			}
+			if lat > 0 {
+				fetchCycle, fetchUsed, lastBlock, fetchStall =
+					advanceTo(fetchCycle+lat, fetchCycle, fetchUsed, lastBlock, fetchStall)
+			}
+			lastBlock = block
+		}
+		fetchAt := fetchCycle
+		fetchUsed++
+
+		// Keep fetch from running unboundedly ahead of commit.
+		robIdx := cu.robIdx
+		oldestCommit := rg.commitRing[robIdx]
+		dispatchAt := fetchAt + k.feDepth
+		if dispatchAt <= oldestCommit {
+			if oldestCommit+1 > k.feDepth {
+				fetchCycle, fetchUsed, lastBlock, fetchStall =
+					advanceTo(oldestCommit+1-k.feDepth, fetchCycle, fetchUsed, lastBlock, fetchStall)
+			}
+			fetchAt = fetchCycle
+			dispatchAt = fetchAt + k.feDepth
+		}
+
+		// Taken control flow: BTB target or decode redirect.
+		b := btbs[li]
+		_, hit := b.Lookup(pc)
+		if !hit {
+			tallies[li].btbMisses.Add(true)
+			fetchCycle, fetchUsed, lastBlock, fetchStall =
+				advanceTo(fetchAt+1+k.btbPenalty, fetchCycle, fetchUsed, lastBlock, fetchStall)
+		} else {
+			tallies[li].btbMisses.Add(false)
+			fetchCycle++ // taken-branch fetch break
+			fetchUsed = 0
+			lastBlock = 0
+		}
+		b.Insert(pc, inst.Target)
+
+		// --- Issue ---
+		ready := dispatchAt
+		if s1 >= 0 {
+			if t := rr[s1]; t > ready {
+				ready = t
+			}
+		}
+		if s2 >= 0 {
+			if t := rr[s2]; t > ready {
+				ready = t
+			}
+		}
+		execLat := k.latTab[lcl]
+		issueAt := rg.takeInBoth(pcl, ready)
+		completeAt := issueAt + execLat
+
+		if dst >= 0 {
+			rr[dst] = completeAt
+		}
+
+		// --- Commit ---
+		lastCommit := cu.lastCommit
+		commitUsed := cu.commitUsed
+		commitAt := completeAt + 1
+		if commitAt > lastCommit {
+			lastCommit = commitAt
+			commitUsed = 1
+		} else if commitUsed < k.commitWidth {
+			commitUsed++ // in-order commit at the current cycle
+		} else {
+			lastCommit++ // commit bandwidth exhausted: next cycle
+			commitUsed = 1
+		}
+		rg.commitRing[robIdx] = lastCommit
+		robIdx++
+		if robIdx == k.robSize {
+			robIdx = 0
+		}
+
+		cu.fetchCycle = fetchCycle
+		cu.fetchUsed = fetchUsed
+		cu.lastFetchBlock = lastBlock
+		cu.lastCommit = lastCommit
+		cu.commitUsed = commitUsed
+		cu.fetchStall = fetchStall
+		cu.robIdx = robIdx
+	}
+}
+
+// sweepBranch steps every lane through one conditional branch: fetch,
+// prediction (with override bubbles), the predicted-taken BTB redirect,
+// issue, resolution, commit.
+//
+//bplint:hotpath fused lane sweep for conditional branches
+func (f *fusedRun) sweepBranch(i int, measured bool) {
+	consts := f.consts
+	nLanes := len(consts)
+	cursors := f.cursors[:nLanes]
+	rings := f.rings[:nLanes]
+	tallies := f.tallies[:nLanes]
+	orgs := f.orgs[:nLanes]
+	btbs := f.btbs[:nLanes]
+	regs := f.regs[:nLanes]
+	caches := f.caches[:nLanes]
+	sideActive := f.sideActive
+	inst := &f.batch[i]
+	pc := inst.PC
+	block := f.blocks[i]
+	pcl := f.pcls[i]
+	lcl := f.lcls[i]
+	fcl := f.fcls[i]
+	s1, s2, dst := inst.Src1, inst.Src2, inst.Dst
+	taken := inst.Taken
+
+	for li := 0; li < nLanes; li++ {
+		k := &consts[li]
+		cu := &cursors[li]
+		rg := &rings[li]
+		rr := &regs[li]
+
+		fetchCycle := cu.fetchCycle
+		fetchUsed := cu.fetchUsed
+		lastBlock := cu.lastFetchBlock
+		fetchStall := cu.fetchStall
+
+		// --- Fetch ---
+		if fetchUsed >= k.fetchWidth {
+			fetchCycle++
+			fetchUsed = 0
+			lastBlock = 0
+		}
+		if block != lastBlock {
+			if lastBlock != 0 {
+				fetchCycle++
+				fetchUsed = 0
+			}
+			var lat uint64
+			if sideActive {
+				tallies[li].fT[fcl]++
+				lat = k.fLat[fcl]
+			} else {
+				ch := &caches[li]
+				if !ch.icache.Access(pc) {
+					if ch.l2.Access(pc) {
+						lat = k.l2Lat
+					} else {
+						lat = k.memLat
+					}
+				}
+			}
+			if lat > 0 {
+				fetchCycle, fetchUsed, lastBlock, fetchStall =
+					advanceTo(fetchCycle+lat, fetchCycle, fetchUsed, lastBlock, fetchStall)
+			}
+			lastBlock = block
+		}
+		fetchAt := fetchCycle
+		fetchUsed++
+
+		// Keep fetch from running unboundedly ahead of commit.
+		robIdx := cu.robIdx
+		oldestCommit := rg.commitRing[robIdx]
+		dispatchAt := fetchAt + k.feDepth
+		if dispatchAt <= oldestCommit {
+			if oldestCommit+1 > k.feDepth {
+				fetchCycle, fetchUsed, lastBlock, fetchStall =
+					advanceTo(oldestCommit+1-k.feDepth, fetchCycle, fetchUsed, lastBlock, fetchStall)
+			}
+			fetchAt = fetchCycle
+			dispatchAt = fetchAt + k.feDepth
+		}
+
+		// --- Branch prediction at fetch ---
+		org := &orgs[li]
+		if org.cycleAware != nil {
+			org.cycleAware.OnCycle(fetchAt)
+		}
+		predictedTaken := org.pred.Predict(pc)
+		org.pred.Update(pc, taken)
+		if org.over != nil {
+			if overrode, bubble := org.over.LastOverrode(); overrode {
+				tallies[li].overrides.Add(true)
+				fetchCycle, fetchUsed, lastBlock, fetchStall =
+					advanceTo(fetchAt+1+uint64(bubble), fetchCycle, fetchUsed, lastBlock, fetchStall)
+			} else {
+				tallies[li].overrides.Add(false)
+			}
+		}
+
+		// Taken control flow: BTB target or decode redirect.
+		if predictedTaken && taken {
+			b := btbs[li]
+			_, hit := b.Lookup(pc)
+			if !hit {
+				tallies[li].btbMisses.Add(true)
+				fetchCycle, fetchUsed, lastBlock, fetchStall =
+					advanceTo(fetchAt+1+k.btbPenalty, fetchCycle, fetchUsed, lastBlock, fetchStall)
+			} else {
+				tallies[li].btbMisses.Add(false)
+				fetchCycle++ // taken-branch fetch break
+				fetchUsed = 0
+				lastBlock = 0
+			}
+			b.Insert(pc, inst.Target)
+		}
+
+		// --- Issue ---
+		ready := dispatchAt
+		if s1 >= 0 {
+			if t := rr[s1]; t > ready {
+				ready = t
+			}
+		}
+		if s2 >= 0 {
+			if t := rr[s2]; t > ready {
+				ready = t
+			}
+		}
+		execLat := k.latTab[lcl]
+		issueAt := rg.takeInBoth(pcl, ready)
+		completeAt := issueAt + execLat
+
+		if dst >= 0 {
+			rr[dst] = completeAt
+		}
+
+		// --- Branch resolution ---
+		miss := predictedTaken != taken
+		tl := &tallies[li]
+		tl.branches.Add(miss)
+		if measured {
+			tl.measBranches.Add(miss)
+		}
+		if miss {
+			fetchCycle, fetchUsed, lastBlock, fetchStall =
+				advanceTo(completeAt+1+k.recovery, fetchCycle, fetchUsed, lastBlock, fetchStall)
+		}
+
+		// --- Commit ---
+		lastCommit := cu.lastCommit
+		commitUsed := cu.commitUsed
+		commitAt := completeAt + 1
+		if commitAt > lastCommit {
+			lastCommit = commitAt
+			commitUsed = 1
+		} else if commitUsed < k.commitWidth {
+			commitUsed++ // in-order commit at the current cycle
+		} else {
+			lastCommit++ // commit bandwidth exhausted: next cycle
+			commitUsed = 1
+		}
+		rg.commitRing[robIdx] = lastCommit
+		robIdx++
+		if robIdx == k.robSize {
+			robIdx = 0
+		}
+
+		cu.fetchCycle = fetchCycle
+		cu.fetchUsed = fetchUsed
+		cu.lastFetchBlock = lastBlock
+		cu.lastCommit = lastCommit
+		cu.commitUsed = commitUsed
+		cu.fetchStall = fetchStall
+		cu.robIdx = robIdx
+	}
+}
+
+// finish assembles the per-lane Results, index-aligned with the lanes,
+// mirroring Sim.result: sidecar runs fold the outcome-class histograms
+// into the same access/miss tallies the per-cell path counts inline.
+func (f *fusedRun) finish(workload string) []Result {
+	out := make([]Result, len(f.rings))
+	for li := range out {
+		org := &f.orgs[li]
+		cu := &f.cursors[li]
+		tl := &f.tallies[li]
+		r := Result{
+			Workload:         workload,
+			Predictor:        org.pred.Name(),
+			Insts:            f.insts - f.warmupInsts,
+			Cycles:           cu.lastCommit - cu.warmupCycle,
+			Branches:         tl.measBranches.Total,
+			Mispredicts:      tl.measBranches.Events,
+			BTBMissRate:      tl.btbMisses.Value(),
+			FetchStallCycles: cu.fetchStall,
+		}
+		if f.sideActive {
+			// Fold the class histograms into per-level tallies exactly as
+			// fetchLatency/loadLatency/storeAccess count them inline.
+			fAcc := tl.fT[0] + tl.fT[1] + tl.fT[2] + tl.fT[3]
+			fL2, fMem := tl.fT[2], tl.fT[3]
+			lAcc := f.lT[0] + f.lT[1] + f.lT[2] + f.lT[3]
+			lL2, lMem := f.lT[2], f.lT[3]
+			sAcc := f.sT[0] + f.sT[1] + f.sT[2] + f.sT[3]
+			r.L1IMissRate = missRate(fL2+fMem, fAcc)
+			r.L1DMissRate = missRate(lL2+lMem+f.sT[3], lAcc+sAcc)
+			r.L2MissRate = missRate(fMem+lMem, fL2+fMem+lL2+lMem)
+		} else {
+			ch := &f.caches[li]
+			r.L1IMissRate = ch.icache.MissRate()
+			r.L1DMissRate = ch.dcache.MissRate()
+			r.L2MissRate = ch.l2.MissRate()
+		}
+		if org.over != nil {
+			r.Overrides = tl.overrides.Events
+			r.OverrideRate = tl.overrides.Value()
+		}
+		out[li] = r
+	}
+	return out
+}
