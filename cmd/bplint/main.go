@@ -24,11 +24,13 @@
 //	2  usage, load or internal error
 //
 // -json switches stdout to a machine-readable JSON array of findings
-// (empty array on a clean run) for tooling; -annotate additionally emits
-// GitHub Actions ::error workflow commands on stderr so CI violations
-// annotate the offending lines in the run. -allows switches to the audit
-// listing: every active //bplint:allow directive with its justification,
-// so waivers stay reviewable.
+// (empty array on a clean run) for tooling; -sarif switches it to a SARIF
+// 2.1.0 log (one run, ruleId per analyzer, content-hash fingerprints) for
+// code-scanning upload; -annotate additionally emits GitHub Actions
+// ::error workflow commands on stderr so CI violations annotate the
+// offending lines in the run. -allows switches to the audit listing:
+// every active //bplint:allow directive with its justification, so
+// waivers stay reviewable.
 //
 // Analysis fans out over a worker pool, one package per task, and finding
 // sets are cached under <module root>/.bplint keyed by a transitive
@@ -39,6 +41,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -56,7 +59,7 @@ import (
 // cacheVersion invalidates every cached finding set when the cache format
 // changes; analyzer and tool-source changes invalidate through the salt's
 // transitive hash of cmd/bplint (which imports internal/analysis).
-const cacheVersion = "bplint-cache-v1"
+const cacheVersion = "bplint-cache-v2"
 
 // options carries the parsed command line; run is pure in it, so tests
 // drive the whole tool without exec-ing a binary.
@@ -64,6 +67,7 @@ type options struct {
 	list     bool
 	allows   bool
 	asJSON   bool
+	asSARIF  bool
 	annotate bool
 	noCache  bool
 	only     string
@@ -76,6 +80,7 @@ func main() {
 	flag.BoolVar(&opts.list, "list", false, "list analyzers and exit")
 	flag.StringVar(&opts.only, "run", "", "comma-separated analyzer names to run (default all)")
 	flag.BoolVar(&opts.asJSON, "json", false, "print findings as a JSON array on stdout")
+	flag.BoolVar(&opts.asSARIF, "sarif", false, "print findings as a SARIF 2.1.0 log on stdout")
 	flag.BoolVar(&opts.annotate, "annotate", false, "emit GitHub Actions ::error annotations on stderr")
 	flag.BoolVar(&opts.allows, "allows", false, "list every //bplint:allow directive with its justification and exit")
 	flag.BoolVar(&opts.noCache, "nocache", false, "disable the finding cache")
@@ -145,12 +150,21 @@ func run(opts options, stdout, stderr io.Writer) int {
 	}
 	sortFindings(findings)
 
-	if opts.asJSON {
+	switch {
+	case opts.asSARIF && opts.asJSON:
+		fmt.Fprintln(stderr, "bplint: -json and -sarif are mutually exclusive")
+		return 2
+	case opts.asSARIF:
+		if err := printSARIF(stdout, findings, loader.Root, analyzers); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case opts.asJSON:
 		if err := printJSON(stdout, findings); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
@@ -160,7 +174,8 @@ func run(opts options, stdout, stderr io.Writer) int {
 			// GitHub Actions workflow command: annotates the file/line in
 			// the run's diff and log views.
 			fmt.Fprintf(stderr, "::error file=%s,line=%d,col=%d::[%s] %s\n",
-				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+				escapeWorkflowProperty(f.Pos.Filename), f.Pos.Line, f.Pos.Column,
+				f.Analyzer, escapeWorkflowData(fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)))
 		}
 	}
 	if len(findings) > 0 {
@@ -379,6 +394,120 @@ func printJSON(w io.Writer, findings []analysis.Finding) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// escapeWorkflowData escapes the free-text data of a GitHub Actions
+// workflow command: a literal %, \r or \n in a finding message would
+// otherwise terminate the command early or be re-interpreted as command
+// syntax.
+func escapeWorkflowData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeWorkflowProperty escapes a workflow-command property value (the
+// file=... part), which additionally reserves the property separator ","
+// and the command terminator ":".
+func escapeWorkflowProperty(s string) string {
+	s = escapeWorkflowData(s)
+	s = strings.ReplaceAll(s, ",", "%2C")
+	s = strings.ReplaceAll(s, ":", "%3A")
+	return s
+}
+
+// SARIF 2.1.0 shapes, reduced to the fields code-scanning consumes.
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string    `json:"id"`
+	ShortDesc sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string            `json:"ruleId"`
+	Level        string            `json:"level"`
+	Message      sarifText         `json:"message"`
+	Locations    []sarifLocation   `json:"locations"`
+	Fingerprints map[string]string `json:"partialFingerprints"`
+}
+
+type sarifLocation struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// printSARIF writes the findings as one SARIF 2.1.0 run. Each analyzer is
+// a rule; each finding carries a content-hash partial fingerprint over
+// (analyzer, repo-relative path, message) so code-scanning tracks a
+// finding across unrelated line drift instead of keying on positions.
+func printSARIF(w io.Writer, findings []analysis.Finding, root string, analyzers []*analysis.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDesc: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+		uri = filepath.ToSlash(uri)
+		sum := sha256.Sum256([]byte(f.Analyzer + "|" + uri + "|" + f.Message))
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{Physical: sarifPhysical{
+				Artifact: sarifArtifact{URI: uri},
+				Region:   sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+			Fingerprints: map[string]string{"bplintFinding/v1": fmt.Sprintf("%x", sum)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "bplint", Rules: rules}}, Results: results}},
+	})
 }
 
 // selectAnalyzers filters all down to the comma-separated names, erroring

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"go/token"
+	"strings"
 	"testing"
 	"time"
 
@@ -64,6 +66,101 @@ func TestExitCodes(t *testing.T) {
 					got, tc.want, stdout.String(), stderr.String())
 			}
 		})
+	}
+}
+
+// TestWorkflowEscaping pins the GitHub Actions workflow-command escaping:
+// %, \r and \n in free text would terminate or corrupt the ::error
+// command, and property values additionally reserve "," and ":".
+func TestWorkflowEscaping(t *testing.T) {
+	data := []struct{ in, want string }{
+		{"plain text", "plain text"},
+		{"100% drift", "100%25 drift"},
+		{"line one\nline two", "line one%0Aline two"},
+		{"cr\rlf\n", "cr%0Dlf%0A"},
+		{"a%0Ab", "a%250Ab"}, // pre-escaped input must round-trip, not pass through
+		{"x, y: z", "x, y: z"},
+	}
+	for _, tc := range data {
+		if got := escapeWorkflowData(tc.in); got != tc.want {
+			t.Errorf("escapeWorkflowData(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	props := []struct{ in, want string }{
+		{"dir/file.go", "dir/file.go"},
+		{"a,b.go", "a%2Cb.go"},
+		{"c:/odd.go", "c%3A/odd.go"},
+		{"p%,:\n.go", "p%25%2C%3A%0A.go"},
+	}
+	for _, tc := range props {
+		if got := escapeWorkflowProperty(tc.in); got != tc.want {
+			t.Errorf("escapeWorkflowProperty(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSARIFOutput runs the tool in -sarif mode over a known-bad fixture
+// and checks the log shape code-scanning depends on: version, one rule
+// per analyzer, ruleId naming the analyzer, repo-relative URIs and a
+// stable content-hash fingerprint.
+func TestSARIFOutput(t *testing.T) {
+	opts := options{
+		patterns: []string{"../../internal/analysis/testdata/determinism/bad"},
+		noCache:  true,
+		asSARIF:  true,
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(opts, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "bplint" {
+		t.Errorf("driver name %q, want bplint", run0.Tool.Driver.Name)
+	}
+	if len(run0.Tool.Driver.Rules) != len(analysis.All()) {
+		t.Errorf("%d rules, want one per analyzer (%d)", len(run0.Tool.Driver.Rules), len(analysis.All()))
+	}
+	if len(run0.Results) == 0 {
+		t.Fatal("no results for a known-bad fixture")
+	}
+	for _, r := range run0.Results {
+		if r.RuleID == "" || r.Level != "error" {
+			t.Errorf("result %+v: want non-empty ruleId and level error", r)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(r.Locations))
+		}
+		uri := r.Locations[0].Physical.Artifact.URI
+		if strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+			t.Errorf("URI %q is not repo-relative slash-separated", uri)
+		}
+		fp := r.Fingerprints["bplintFinding/v1"]
+		if len(fp) != 64 {
+			t.Errorf("fingerprint %q is not a sha256 hex digest", fp)
+		}
+	}
+
+	// The same run must produce byte-identical SARIF: fingerprints are
+	// content hashes, not positions or timestamps.
+	var again bytes.Buffer
+	if code := run(opts, &again, &bytes.Buffer{}); code != 1 {
+		t.Fatal("second SARIF run failed")
+	}
+	if !bytes.Equal(stdout.Bytes(), again.Bytes()) {
+		t.Error("SARIF output is not deterministic across runs")
+	}
+
+	var both bytes.Buffer
+	opts.asJSON = true
+	if code := run(opts, &both, &both); code != 2 {
+		t.Errorf("-json with -sarif should be a usage error, got exit %d", code)
 	}
 }
 

@@ -51,6 +51,30 @@
 //   - maporder: nondeterministic map iteration order must not flow into
 //     canonical keys, codec output, or stdout.
 //
+// A fourth generation certifies the twin-path architecture: every hot
+// result flows through fused SoA fast paths (funcsim.RunMany,
+// pipeline.RunMany, BatchStepper) that must mirror scalar references
+// statement for statement, an invariant previously enforced only by
+// sampled equivalence tests:
+//
+//   - twinsync: functions marked //bplint:twin pkg.Recv.Method must,
+//     as a group, cover every kernel statement (assignments, calls,
+//     ++/--, returns) of the named scalar twin under a normalized-AST
+//     correspondence (normalize.go); //bplint:twinmap supplies name
+//     equivalences and //bplint:twinskip justifies genuine
+//     re-organizations;
+//   - fieldlanes: mutable fields of scalar state structs marked
+//     //bplint:lanecheck must map to declared SoA lane fields via
+//     //bplint:lane Owner.field annotations, and every field of a
+//     participating lane struct must name its scalar state or carry an
+//     explicit //bplint:lane - <reason>;
+//   - equivcover: every twin group and every BatchStepper
+//     implementation must be exercised by a package equivalence test
+//     whose closure reaches both sides and a comparison sink;
+//   - switchenum: switches over declared outcome/meta-class const sets
+//     in trace/funcsim/pipeline (//bplint:enum groups or typed enums)
+//     must be exhaustive or panic in their default.
+//
 // Findings can be suppressed for a single line with an allow directive on
 // the same line or the line directly above:
 //
@@ -99,6 +123,10 @@ func All() []*Analyzer {
 		OncePublish,
 		GlobalState,
 		MapOrder,
+		TwinSync,
+		FieldLanes,
+		EquivCover,
+		SwitchEnum,
 	}
 }
 
@@ -118,6 +146,7 @@ type Pass struct {
 	Fset   *token.FileSet
 	Module string // module path of the enclosing module, e.g. "branchsim"
 	Path   string // import path of the package under analysis
+	Dir    string // directory the package was loaded from ("" when synthetic)
 	Pkg    *types.Package
 	Info   *types.Info
 	Files  []*ast.File
@@ -163,6 +192,7 @@ func Run(pkg *Package, module string, analyzers []*Analyzer) []Finding {
 			Fset:     pkg.Fset,
 			Module:   module,
 			Path:     pkg.Path,
+			Dir:      pkg.Dir,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			Files:    pkg.Files,

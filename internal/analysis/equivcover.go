@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// EquivCover closes the loop between the static twin certification and
+// the dynamic equivalence suites: every //bplint:twin group and every
+// BatchStepper implementation (a method named StepBatch) must be
+// exercised by an equivalence test in the package — a *_test.go test
+// whose reference closure reaches both the scalar side and a fused side
+// and contains a comparison sink (reflect.DeepEqual or an (in)equality
+// over computed values). twinsync proves the fused path mirrors the
+// scalar structure; equivcover proves somebody also runs the two and
+// compares the bits, so a twin can neither ship untested nor lose its
+// test to a refactor without the lint noticing.
+//
+// The test scan is deliberately name-level: test files are parsed without
+// type-checking, names referenced from a test (transitively through
+// test-file helpers and package-level test variables such as table-driven
+// constructor lists) are matched against package functions and methods by
+// name, and reachability then follows the package's typed call graph.
+// Interface dispatch (predictor.BatchStepper) thus resolves to every
+// same-named method — an approximation that errs toward finding coverage,
+// which is the right direction for a gate that demands a human-written
+// test rather than proving its assertions sharp.
+var EquivCover = &Analyzer{
+	Name: "equivcover",
+	Doc:  "every //bplint:twin group and BatchStepper implementation needs an equivalence test reaching both sides with a comparison sink",
+	Run:  runEquivCover,
+}
+
+func runEquivCover(pass *Pass) {
+	decls := funcDecls(pass)
+	nop := func(token.Pos, string, ...any) {}
+	groups := collectTwinGroups(pass, decls, nop)
+	steppers := stepBatchImpls(pass, decls)
+	if len(groups) == 0 && len(steppers) == 0 {
+		return
+	}
+	tests := loadEquivTests(pass)
+
+	// Typed reachability from each test's name closure, cached per test.
+	type testReach struct {
+		names map[string]bool
+		reach map[*ast.FuncDecl]bool
+	}
+	var reaches []testReach
+	for _, t := range tests {
+		if !t.sink {
+			continue
+		}
+		reaches = append(reaches, testReach{names: t.names, reach: reachDecls(pass, decls, t.names)})
+	}
+
+	targets := make([]string, 0, len(groups))
+	for t := range groups {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, name := range targets {
+		g := groups[name]
+		covered := false
+		for _, tr := range reaches {
+			if !tr.reach[g.scalarDecl] {
+				continue
+			}
+			for _, fd := range g.fused {
+				if tr.reach[fd] {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(g.pos, "twin group %s has no equivalence test: no test with a comparison sink reaches both %s and a fused twin — drift here would ship silently", g.target, g.target)
+		}
+	}
+
+	for _, st := range steppers {
+		covered := false
+		for _, tr := range reaches {
+			if !tr.reach[st.decl] {
+				continue
+			}
+			if tr.names[st.recv] || reachesConstructor(pass, tr.reach, st.recvType) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(st.decl.Name.Pos(), "BatchStepper implementation %s.StepBatch has no equivalence test: no test with a comparison sink constructs a %s and reaches StepBatch — its batch path could diverge from Predict/Update unnoticed", st.recv, st.recv)
+		}
+	}
+}
+
+// stepperImpl is one StepBatch method in the package.
+type stepperImpl struct {
+	recv     string
+	recvType types.Type
+	decl     *ast.FuncDecl
+}
+
+func stepBatchImpls(pass *Pass, decls map[types.Object]*ast.FuncDecl) []stepperImpl {
+	var out []stepperImpl
+	for obj, fd := range decls {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Name() != "StepBatch" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			continue
+		}
+		rt := sig.Recv().Type()
+		name := recvTypeName(rt)
+		if name == "" {
+			continue
+		}
+		out = append(out, stepperImpl{recv: name, recvType: rt, decl: fd})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].recv < out[j].recv })
+	return out
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// reachesConstructor reports whether the reachable set contains a
+// function returning the receiver type (by value or pointer).
+func reachesConstructor(pass *Pass, reach map[*ast.FuncDecl]bool, recv types.Type) bool {
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	for fd := range reach {
+		obj := pass.Info.Defs[fd.Name]
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() != nil {
+			continue
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			rt := sig.Results().At(i).Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if types.Identical(rt, recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// equivTest is one Test function of the package's _test.go files with its
+// transitive name closure.
+type equivTest struct {
+	name  string
+	names map[string]bool
+	sink  bool
+}
+
+// loadEquivTests parses the package directory's _test.go files without
+// type-checking and computes, per Test function, the closure of
+// referenced names through test-file helpers and package-level test
+// variable initializers, plus whether a comparison sink occurs inside
+// the closure.
+func loadEquivTests(pass *Pass) []equivTest {
+	if pass.Dir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(pass.Dir)
+	if err != nil {
+		return nil
+	}
+	fset := token.NewFileSet()
+	funcs := map[string]*ast.FuncDecl{}
+	vars := map[string]ast.Expr{}
+	var testNames []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pass.Dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					funcs[d.Name.Name] = d
+					if strings.HasPrefix(d.Name.Name, "Test") {
+						testNames = append(testNames, d.Name.Name)
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							if i < len(vs.Values) {
+								vars[name.Name] = vs.Values[i]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(testNames)
+	var out []equivTest
+	for _, tn := range testNames {
+		t := equivTest{name: tn, names: map[string]bool{}}
+		seen := map[ast.Node]bool{}
+		var expand func(n ast.Node)
+		expand = func(n ast.Node) {
+			if n == nil || seen[n] {
+				return
+			}
+			seen[n] = true
+			ast.Inspect(n, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.Ident:
+					if t.names[x.Name] {
+						return true
+					}
+					t.names[x.Name] = true
+					if fd := funcs[x.Name]; fd != nil && fd.Body != nil {
+						expand(fd.Body)
+					}
+					if v := vars[x.Name]; v != nil {
+						expand(v)
+					}
+				case *ast.BinaryExpr:
+					if x.Op == token.EQL || x.Op == token.NEQ {
+						if comparesValues(x) {
+							t.sink = true
+						}
+					}
+				case *ast.CallExpr:
+					if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "DeepEqual" {
+						t.sink = true
+					}
+				}
+				return true
+			})
+		}
+		expand(funcs[tn].Body)
+		out = append(out, t)
+	}
+	return out
+}
+
+// comparesValues filters ==/!= sinks down to comparisons of two computed
+// operands: nil checks and literal comparisons (loop bounds, sentinel
+// tests) are control flow, not equivalence assertions.
+func comparesValues(b *ast.BinaryExpr) bool {
+	value := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BasicLit:
+			return false
+		case *ast.Ident:
+			return e.Name != "nil" && e.Name != "true" && e.Name != "false"
+		}
+		return true
+	}
+	return value(b.X) && value(b.Y)
+}
+
+// reachDecls maps a name closure onto package declarations and expands it
+// through the package's typed call graph.
+func reachDecls(pass *Pass, decls map[types.Object]*ast.FuncDecl, names map[string]bool) map[*ast.FuncDecl]bool {
+	reach := map[*ast.FuncDecl]bool{}
+	var queue []*ast.FuncDecl
+	for obj, fd := range decls {
+		if names[obj.Name()] && !reach[fd] {
+			reach[fd] = true
+			queue = append(queue, fd)
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if next := decls[obj]; next != nil && !reach[next] {
+				reach[next] = true
+				queue = append(queue, next)
+			}
+			return true
+		})
+	}
+	return reach
+}

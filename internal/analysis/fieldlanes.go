@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// FieldLanes certifies the SoA decomposition of the fused fast paths at
+// the type level: every mutable field of a scalar state struct must have
+// a declared home in the per-lane structure-of-arrays families, and every
+// lane field must point back at real scalar state. The directive
+// vocabulary:
+//
+//	//bplint:lane Owner.field[,Owner.field...]   on a lane field — this
+//	    lane slice/column carries the named scalar fields' state;
+//	//bplint:lane - <reason>                     on either side — this
+//	    field deliberately has no counterpart (say why);
+//	//bplint:lanecheck                           on a scalar struct —
+//	    every field must be claimed by some lane annotation in the
+//	    package or carry its own "-" marker.
+//
+// A struct with at least one lane annotation opts its whole field list
+// in: a later field added without an annotation is a finding, so new
+// per-lane state cannot appear without declaring which scalar state it
+// shadows — and new scalar state on a lanecheck struct cannot appear
+// without a lane to live in. That turns "where does this field go in the
+// fused run?" from archaeology into a machine-checked cross-reference.
+var FieldLanes = &Analyzer{
+	Name: "fieldlanes",
+	Doc:  "scalar state-struct fields and SoA lane fields must cross-reference via //bplint:lane annotations",
+	Run:  runFieldLanes,
+}
+
+var laneRe = regexp.MustCompile(`^//\s*bplint:lane\s+(\S+)\s*(.*?)\s*$`)
+var lanecheckRe = regexp.MustCompile(`^//\s*bplint:lanecheck\s*$`)
+
+// laneTarget is one Owner.field reference from a lane annotation.
+type laneTarget struct {
+	owner, field string
+	pos          ast.Node
+}
+
+func runFieldLanes(pass *Pass) {
+	// structFields[type name][field name] existence, for resolution.
+	structs := map[string]map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				fields := map[string]bool{}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						fields[name.Name] = true
+					}
+				}
+				structs[ts.Name.Name] = fields
+			}
+		}
+	}
+
+	// claimed[owner][field] — scalar fields named by some lane annotation.
+	claimed := map[string]map[string]bool{}
+	// dashed[owner][field] — fields carrying their own "-" marker.
+	dashed := map[string]map[string]bool{}
+	type pendingStruct struct {
+		ts        *ast.TypeSpec
+		st        *ast.StructType
+		lanecheck bool
+		annotated bool // at least one //bplint:lane on a field
+	}
+	var pending []pendingStruct
+
+	mark := func(m map[string]map[string]bool, owner, field string) {
+		if m[owner] == nil {
+			m[owner] = map[string]bool{}
+		}
+		m[owner][field] = true
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					if hasLanecheck(gd, ts) {
+						pass.Reportf(ts.Name.Pos(), "//bplint:lanecheck applies to struct types, %s is not one", ts.Name.Name)
+					}
+					continue
+				}
+				ps := pendingStruct{ts: ts, st: st, lanecheck: hasLanecheck(gd, ts)}
+				for _, f := range st.Fields.List {
+					arg, rest, pos := laneDirective(f)
+					if pos == nil {
+						continue
+					}
+					ps.annotated = true
+					if arg == "-" {
+						if rest == "" {
+							pass.Reportf(pos.Pos(), "//bplint:lane - requires a reason: why does this field have no counterpart?")
+						}
+						for _, name := range f.Names {
+							mark(dashed, ts.Name.Name, name.Name)
+						}
+						continue
+					}
+					for _, ref := range strings.Split(arg, ",") {
+						owner, field, ok := strings.Cut(ref, ".")
+						if !ok || owner == "" || field == "" {
+							pass.Reportf(pos.Pos(), "//bplint:lane target %q is not Owner.field", ref)
+							continue
+						}
+						fields, ok := structs[owner]
+						if !ok {
+							pass.Reportf(pos.Pos(), "//bplint:lane target %s.%s: no struct type %s in this package", owner, field, owner)
+							continue
+						}
+						if !fields[field] {
+							pass.Reportf(pos.Pos(), "//bplint:lane target %s.%s: struct %s has no field %s", owner, field, owner, field)
+							continue
+						}
+						mark(claimed, owner, field)
+					}
+				}
+				pending = append(pending, ps)
+			}
+		}
+	}
+
+	for _, ps := range pending {
+		name := ps.ts.Name.Name
+		if ps.annotated {
+			// A participating lane struct must annotate every field.
+			for _, f := range ps.st.Fields.List {
+				if _, _, pos := laneDirective(f); pos != nil {
+					continue
+				}
+				for _, fname := range f.Names {
+					pass.Reportf(fname.Pos(), "%s.%s has no //bplint:lane annotation but its struct participates in the lane mapping — name the scalar fields it carries or mark it //bplint:lane - <reason>", name, fname.Name)
+				}
+			}
+		}
+		if ps.lanecheck {
+			for _, f := range ps.st.Fields.List {
+				for _, fname := range f.Names {
+					if claimed[name][fname.Name] || dashed[name][fname.Name] {
+						continue
+					}
+					pass.Reportf(fname.Pos(), "%s.%s is scalar state with no declared SoA lane — a fused run would silently drop it; add a //bplint:lane %s.%s annotation on its lane field or mark it //bplint:lane - <reason>", name, fname.Name, name, fname.Name)
+				}
+			}
+		}
+	}
+}
+
+func hasLanecheck(gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	for _, group := range []*ast.CommentGroup{ts.Doc, gd.Doc} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			if lanecheckRe.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// laneDirective returns the first //bplint:lane argument on a field's doc
+// or trailing comment, the remainder text, and the carrying comment.
+func laneDirective(f *ast.Field) (arg, rest string, at *ast.Comment) {
+	for _, group := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			if m := laneRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1], m[2], c
+			}
+		}
+	}
+	return "", "", nil
+}

@@ -1,0 +1,520 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the normalized-AST core shared by the twin-certification
+// analyzers (twinsync and its fixtures). The fused sweeps are not textual
+// copies of their scalar references: fusion hoists struct fields into
+// locals, renames per-lane aliases, folds Predict+Update into
+// PredictUpdate, and threads cursor state through value parameters. A
+// useful drift check therefore compares *kernels* — the side-effecting
+// statements (assignments, calls, ++/--, returns) — after a normalization
+// that erases exactly the transformations fusion is allowed to make and
+// nothing else:
+//
+//   - parentheses, positions and comments never matter;
+//   - selector chains and index/slice/deref decorations collapse to the
+//     terminal name (s.cfg.ROBSize, k.robSize and robSize all render
+//     "robsize"), so AoS→SoA re-homing of a field is invisible;
+//   - type conversions are dropped (uint64(x) ≡ x — conversions cannot
+//     change a value's meaning, only its width, and width drift is the
+//     sizebytes analyzer's problem);
+//   - identifiers are case-folded and singularized (one trailing 's'),
+//     so lane plurals (preds, takens) meet their scalar singulars;
+//   - a local initialized from a pure field chain renders as the chain's
+//     terminal (lastBlock := cu.lastFetchBlock reads as lastfetchblock),
+//     transitively through other such locals;
+//   - a single-assignment local can optionally be substituted by its
+//     initializer (idx := a^b; use(idx) ≡ use(a^b)), and a call to a
+//     same-package single-return helper can optionally be inlined — both
+//     are rendered as variants, and a kernel matches if any variant does;
+//   - a //bplint:twinmap directive supplies residual name equivalences
+//     the rules above cannot see (update=predictupdate).
+//
+// Everything else — operators, call targets, argument lists, literal
+// values — renders faithfully, so a drifted constant, a dropped term or a
+// retargeted call changes the kernel string and surfaces as a finding.
+
+// kernelKind classifies an extracted kernel statement.
+type kernelKind int
+
+const (
+	kernelAssign kernelKind = iota
+	kernelCall
+	kernelIncDec
+	kernelReturn
+)
+
+// kernel is one side-effecting statement lifted out of a function body.
+type kernel struct {
+	kind kernelKind
+	stmt ast.Stmt
+	pos  token.Pos
+	// full holds every rendered variant of the whole kernel.
+	full []string
+	// rhs holds rendered variants of the right-hand side alone
+	// (assignments and single-value returns): the fused form of a scalar
+	// call or return is frequently "captured into a column", so scalar
+	// calls/returns also match a fused assignment by RHS.
+	rhs []string
+	// callPrefix holds "callee(firstArg" variants for call kernels: the
+	// fused twin of a scalar call may thread extra state arguments
+	// (advanceFetch(t) vs advanceTo(t, cursor...)), and the first
+	// argument is the one that carries the computed value under test.
+	// Prefix matching applies only when the fused call has strictly more
+	// arguments than the scalar one (see keySet.matches): an equal-arity
+	// call must match in full, or a drifted trailing argument would hide
+	// behind its own prefix.
+	callPrefix []string
+	// arity is the call kernel's argument count, bounding prefix matches.
+	arity int
+	// callee is the rendered callee of a call kernel, for the argless
+	// body-inline fallback ("" otherwise).
+	callee string
+	// calleeObj is the resolved callee object for same-package calls.
+	calleeObj types.Object
+	// argless reports a call kernel with an empty argument list.
+	argless bool
+}
+
+// localInfo caches per-function facts about local variables that drive
+// chain renaming and substitution.
+type localInfo struct {
+	// assigns counts writes (=, :=, ++/--) per local object.
+	assigns map[types.Object]int
+	// init maps a local to its := / var initializer when it has exactly
+	// one (positionally matching) initializer expression.
+	init map[types.Object]ast.Expr
+	// addrTaken marks locals whose address escapes via &x.
+	addrTaken map[types.Object]bool
+}
+
+func collectLocalInfo(info *types.Info, fn *ast.FuncDecl) *localInfo {
+	li := &localInfo{
+		assigns:   map[types.Object]int{},
+		init:      map[types.Object]ast.Expr{},
+		addrTaken: map[types.Object]bool{},
+	}
+	if fn.Body == nil {
+		return li
+	}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		li.assigns[obj]++
+		if rhs != nil {
+			if _, dup := li.init[obj]; !dup {
+				li.init[obj] = rhs
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, lhs := range s.Lhs {
+					var init ast.Expr
+					if s.Tok == token.DEFINE {
+						init = s.Rhs[i]
+					}
+					record(lhs, init)
+				}
+			} else {
+				for _, lhs := range s.Lhs {
+					record(lhs, nil)
+				}
+			}
+		case *ast.IncDecStmt:
+			record(s.X, nil)
+		case *ast.GenDecl:
+			for _, spec := range s.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						record(name, vs.Values[i])
+						li.assigns[info.Defs[name]]-- // decl counts once below
+					}
+					li.assigns[info.Defs[name]]++
+				}
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				if id, ok := s.X.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						li.addrTaken[obj] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			record(s.Key, nil)
+			record(s.Value, nil)
+		}
+		return true
+	})
+	return li
+}
+
+// renderOpts selects which optional rewrites a render applies; every
+// combination is generated so that a kernel matches if any variant does.
+type renderOpts struct {
+	subst  bool // substitute single-assignment locals by their initializer
+	inline bool // inline same-package single-return helper calls
+}
+
+var renderVariants = []renderOpts{
+	{false, false}, {true, false}, {false, true}, {true, true},
+}
+
+// renderer renders expressions of one function into normalized strings.
+type renderer struct {
+	info    *types.Info
+	pkg     *types.Package
+	locals  *localInfo
+	decls   map[types.Object]*ast.FuncDecl
+	twinmap map[string]string
+	opts    renderOpts
+	// recvObj is the enclosing method's receiver object; calls through
+	// the bare receiver render without a qualifier (s.breakFetch() ≡
+	// breakFetch()), since the fused twin is typically a standalone
+	// helper or a method of a different carrier struct.
+	recvObj types.Object
+
+	// frames maps inlined-callee parameters to pre-rendered argument
+	// strings; chains guards chain-rename recursion; substing guards
+	// substitution recursion.
+	frames   []map[types.Object]string
+	chains   map[types.Object]bool
+	substing map[types.Object]bool
+	depth    int
+}
+
+func newRenderer(info *types.Info, pkg *types.Package, locals *localInfo, decls map[types.Object]*ast.FuncDecl, twinmap map[string]string, opts renderOpts) *renderer {
+	return &renderer{
+		info: info, pkg: pkg, locals: locals, decls: decls,
+		twinmap: twinmap, opts: opts,
+		chains: map[types.Object]bool{}, substing: map[types.Object]bool{},
+	}
+}
+
+// normalizeName case-folds, singularizes and twin-maps one identifier.
+func (r *renderer) normalizeName(name string) string {
+	n := strings.ToLower(name)
+	if len(n) > 1 && strings.HasSuffix(n, "s") {
+		n = n[:len(n)-1]
+	}
+	if mapped, ok := r.twinmap[n]; ok {
+		n = mapped
+	}
+	return n
+}
+
+// chainName returns the normalized terminal of obj's pure-chain
+// initializer, or "" when obj is not chain-initialized. A chain is an
+// identifier decorated by at least one selector/index/slice/&/* step with
+// no embedded calls: the decorations are exactly what SoA re-homing adds,
+// so the local is just a new name for the terminal field.
+func (r *renderer) chainName(obj types.Object) string {
+	if r.chains[obj] {
+		return ""
+	}
+	init := r.locals.init[obj]
+	if init == nil {
+		return ""
+	}
+	r.chains[obj] = true
+	defer delete(r.chains, obj)
+	name, ops := r.chainTerminal(init)
+	if name == "" || ops == 0 {
+		return ""
+	}
+	return name
+}
+
+// chainTerminal resolves a pure chain to its normalized terminal name and
+// the number of decoration steps; name "" means not a pure chain.
+func (r *renderer) chainTerminal(e ast.Expr) (string, int) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := r.info.Uses[e]; obj != nil {
+			if cn := r.chainName(obj); cn != "" {
+				return cn, 1 // renamed locals count as decorated
+			}
+		}
+		return r.normalizeName(e.Name), 0
+	case *ast.ParenExpr:
+		return r.chainTerminal(e.X)
+	case *ast.SelectorExpr:
+		if base, _ := r.chainTerminal(e.X); base == "" {
+			return "", 0
+		}
+		return r.normalizeName(e.Sel.Name), 1
+	case *ast.IndexExpr:
+		if hasCall(e.Index) {
+			return "", 0
+		}
+		name, ops := r.chainTerminal(e.X)
+		if name == "" {
+			return "", 0
+		}
+		return name, ops + 1
+	case *ast.SliceExpr:
+		if hasCall(e.Low) || hasCall(e.High) || hasCall(e.Max) {
+			return "", 0
+		}
+		name, ops := r.chainTerminal(e.X)
+		if name == "" {
+			return "", 0
+		}
+		return name, ops + 1
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return "", 0
+		}
+		name, ops := r.chainTerminal(e.X)
+		if name == "" {
+			return "", 0
+		}
+		return name, ops + 1
+	case *ast.StarExpr:
+		name, ops := r.chainTerminal(e.X)
+		if name == "" {
+			return "", 0
+		}
+		return name, ops + 1
+	}
+	return "", 0
+}
+
+func hasCall(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+const maxRenderDepth = 32
+
+// render produces the normalized string for e under the renderer's
+// options.
+func (r *renderer) render(e ast.Expr) string {
+	if r.depth > maxRenderDepth {
+		return "..."
+	}
+	r.depth++
+	defer func() { r.depth-- }()
+	switch e := e.(type) {
+	case *ast.Ident:
+		return r.renderIdent(e)
+	case *ast.BasicLit:
+		return strings.ToLower(e.Value)
+	case *ast.ParenExpr:
+		return r.render(e.X)
+	case *ast.SelectorExpr:
+		return r.normalizeName(e.Sel.Name)
+	case *ast.IndexExpr:
+		return r.render(e.X)
+	case *ast.IndexListExpr:
+		return r.render(e.X)
+	case *ast.SliceExpr:
+		return r.render(e.X)
+	case *ast.StarExpr:
+		return r.render(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return r.render(e.X)
+		}
+		return e.Op.String() + r.render(e.X)
+	case *ast.BinaryExpr:
+		return "(" + r.render(e.X) + e.Op.String() + r.render(e.Y) + ")"
+	case *ast.CallExpr:
+		return r.renderCall(e)
+	case *ast.TypeAssertExpr:
+		return r.render(e.X)
+	case *ast.CompositeLit:
+		return "lit"
+	case *ast.FuncLit:
+		return "func"
+	case *ast.KeyValueExpr:
+		return r.render(e.Key) + ":" + r.render(e.Value)
+	}
+	return "?"
+}
+
+func (r *renderer) renderIdent(e *ast.Ident) string {
+	obj := r.info.Uses[e]
+	if obj == nil {
+		obj = r.info.Defs[e]
+	}
+	if obj != nil {
+		// Inlined-callee parameters render as the caller's argument.
+		for i := len(r.frames) - 1; i >= 0; i-- {
+			if s, ok := r.frames[i][obj]; ok {
+				return s
+			}
+		}
+		if cn := r.chainName(obj); cn != "" {
+			return cn
+		}
+		if r.opts.subst && r.substitutable(obj) {
+			init := r.locals.init[obj]
+			r.substing[obj] = true
+			s := r.render(init)
+			delete(r.substing, obj)
+			return s
+		}
+	}
+	return r.normalizeName(e.Name)
+}
+
+// substitutable reports whether obj is a single-assignment local whose
+// initializer may replace its uses.
+func (r *renderer) substitutable(obj types.Object) bool {
+	if r.substing[obj] {
+		return false
+	}
+	return r.locals.assigns[obj] == 1 && r.locals.init[obj] != nil && !r.locals.addrTaken[obj]
+}
+
+func (r *renderer) renderCall(e *ast.CallExpr) string {
+	// Conversions are transparent: uint64(x) renders as x.
+	if tv, ok := r.info.Types[e.Fun]; ok && tv.IsType() {
+		if len(e.Args) == 1 {
+			return r.render(e.Args[0])
+		}
+	}
+	callee, recv, obj := r.calleeOf(e)
+	if r.opts.inline && obj != nil {
+		if body := r.singleReturn(obj); body != nil {
+			if s, ok := r.inlineCall(obj, e, body); ok {
+				return s
+			}
+		}
+	}
+	var b strings.Builder
+	if recv != "" {
+		b.WriteString(recv)
+		b.WriteString(".")
+	}
+	b.WriteString(callee)
+	b.WriteString("(")
+	for i, arg := range e.Args {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(r.render(arg))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// calleeOf splits a call into normalized callee name, rendered receiver
+// ("" for plain calls) and the resolved callee object (nil for builtins,
+// other packages, or dynamic calls).
+func (r *renderer) calleeOf(e *ast.CallExpr) (callee, recv string, obj types.Object) {
+	switch fun := ast.Unparen(e.Fun).(type) {
+	case *ast.Ident:
+		o := r.info.Uses[fun]
+		if o != nil && o.Pkg() == r.pkg {
+			obj = o
+		}
+		return r.normalizeName(fun.Name), "", obj
+	case *ast.SelectorExpr:
+		o := r.info.Uses[fun.Sel]
+		if o != nil && o.Pkg() == r.pkg {
+			obj = o
+		}
+		// Package-qualified calls render without the package name;
+		// method calls keep the rendered receiver, which disambiguates
+		// same-named methods on different fields (branches.Add vs
+		// overrides.Add).
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if o := r.info.Uses[id]; o != nil {
+				if _, isPkg := o.(*types.PkgName); isPkg {
+					return r.normalizeName(fun.Sel.Name), "", obj
+				}
+				if r.recvObj != nil && o == r.recvObj {
+					return r.normalizeName(fun.Sel.Name), "", obj
+				}
+			}
+		}
+		return r.normalizeName(fun.Sel.Name), r.render(fun.X), obj
+	}
+	return "call", "", nil
+}
+
+// singleReturn returns the sole returned expression of a same-package
+// function whose body is exactly one non-empty return, else nil.
+func (r *renderer) singleReturn(obj types.Object) ast.Expr {
+	decl := r.decls[obj]
+	if decl == nil || decl.Body == nil || len(decl.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	return ret.Results[0]
+}
+
+// inlineCall renders the single-return body of the callee with its
+// parameters bound to the caller's rendered arguments.
+func (r *renderer) inlineCall(obj types.Object, call *ast.CallExpr, body ast.Expr) (string, bool) {
+	if len(r.frames) >= 4 {
+		return "", false
+	}
+	decl := r.decls[obj]
+	frame := map[types.Object]string{}
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if i >= len(call.Args) {
+				return "", false
+			}
+			if pobj := r.info.Defs[name]; pobj != nil {
+				frame[pobj] = r.render(call.Args[i])
+			}
+			i++
+		}
+	}
+	r.frames = append(r.frames, frame)
+	defer func() { r.frames = r.frames[:len(r.frames)-1] }()
+	// The callee body must be rendered with the callee's own local
+	// context; a single-return helper has no locals, so only the frame
+	// matters and the caller's localInfo is harmless.
+	return r.render(body), true
+}
+
+// renderNoSubst renders e with substitution forced off — left-hand sides
+// must keep their own (chain-renamed) names, never expand to their
+// initializer.
+func (r *renderer) renderNoSubst(e ast.Expr) string {
+	saved := r.opts.subst
+	r.opts.subst = false
+	s := r.render(e)
+	r.opts.subst = saved
+	return s
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks one import-free source file and
+// wraps it in a Pass, so normalizer tests run on strings instead of
+// fixture directories.
+func typecheckSrc(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := (&types.Config{}).Check("fix", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Pass{Fset: fset, Module: "branchsim", Path: "fix", Pkg: pkg, Info: info, Files: []*ast.File{f}}
+}
+
+// declByName finds a function or method declaration by bare name.
+func declByName(t *testing.T, decls map[types.Object]*ast.FuncDecl, name string) *ast.FuncDecl {
+	t.Helper()
+	for obj, fd := range decls {
+		if obj.Name() == name {
+			return fd
+		}
+	}
+	t.Fatalf("no declaration named %s", name)
+	return nil
+}
+
+// assertTwinMatch extracts kernels from the scalar and fused functions and
+// checks every scalar kernel against the fused key set — the exact
+// matching path twinsync runs — expecting full coverage (wantMatch) or at
+// least one unmatched kernel (!wantMatch).
+func assertTwinMatch(t *testing.T, src, scalar, fused string, twinmap map[string]string, wantMatch bool) {
+	t.Helper()
+	pass := typecheckSrc(t, src)
+	decls := funcDecls(pass)
+	ks := newKeySet()
+	for _, k := range extractKernels(pass, declByName(t, decls, fused), twinmap, decls, nil) {
+		ks.add(k)
+	}
+	unmatched := 0
+	for _, k := range extractKernels(pass, declByName(t, decls, scalar), twinmap, decls, nil) {
+		if !ks.matches(k) {
+			unmatched++
+			if wantMatch {
+				t.Errorf("scalar kernel %q has no fused counterpart", k.full[0])
+			}
+		}
+	}
+	if !wantMatch && unmatched == 0 {
+		t.Error("every scalar kernel matched; expected at least one divergence")
+	}
+}
+
+// TestNormalizerInsensitivity pins the equivalences the twin matching is
+// built on: comments, parentheses, line position, receiver naming,
+// index/slice decoration, conversions and singular/plural naming must not
+// produce spurious drift — while a changed constant, operator or argument
+// must.
+func TestNormalizerInsensitivity(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		twinmap   map[string]string
+		wantMatch bool
+	}{
+		{
+			name: "comments-parens-layout",
+			src: `package fix
+type S struct{ n, m int64 }
+func (s *S) scalar(a, b int64) {
+	s.n = a + b
+	s.m++
+}
+type F struct{ n, m int64 }
+func (f *F) fused(a, b int64) {
+	// a comment the scalar side does not have
+	f.n =
+		((a + b)) // trailing note
+	f.m++
+}`,
+			wantMatch: true,
+		},
+		{
+			name: "index-and-plural-decoration",
+			src: `package fix
+type S struct{ taken int64 }
+func (s *S) scalar(pc uint64, taken bool) {
+	if taken {
+		s.taken++
+	}
+	s.use(pc, taken)
+}
+func (s *S) use(pc uint64, taken bool) {}
+type F struct{ takens []int64 }
+func (f *F) fused(pcs []uint64, takens []bool) {
+	for i := range pcs {
+		if takens[i] {
+			f.takens[i]++
+		}
+		f.use(pcs[i], takens[i])
+	}
+}
+func (f *F) use(pc uint64, taken bool) {}`,
+			wantMatch: true,
+		},
+		{
+			name: "conversion-dropped",
+			src: `package fix
+type S struct{ n int64 }
+func (s *S) scalar(v int) {
+	s.n = int64(v)
+}
+type F struct{ n int64 }
+func (f *F) fused(v int) {
+	f.n = int64(int32(v))
+}`,
+			wantMatch: true,
+		},
+		{
+			name: "twinmap-field-rename",
+			src: `package fix
+type S struct{ insts int64 }
+func (s *S) scalar() {
+	s.insts++
+}
+type F struct{ count int64 }
+func (f *F) fused() {
+	f.count++
+}`,
+			twinmap:   map[string]string{"inst": "count"},
+			wantMatch: true,
+		},
+		{
+			name: "state-threading-call-prefix",
+			src: `package fix
+type S struct{ at uint64 }
+func (s *S) scalar(t uint64) {
+	s.advance(t)
+}
+func (s *S) advance(t uint64) { s.at = t }
+type F struct{ at, used uint64 }
+func (f *F) fused(t, u uint64) {
+	f.advance(t, u)
+}
+func (f *F) advance(t, u uint64) { f.at, f.used = t, u }`,
+			wantMatch: true,
+		},
+		{
+			name: "drifted-constant-detected",
+			src: `package fix
+type S struct{ n int64 }
+func (s *S) scalar() {
+	s.n += 2
+}
+type F struct{ n int64 }
+func (f *F) fused() {
+	f.n += 1
+}`,
+			wantMatch: false,
+		},
+		{
+			name: "drifted-argument-detected",
+			src: `package fix
+type S struct{}
+func (s *S) scalar(pc uint64, taken bool) {
+	s.update(pc, !taken)
+}
+func (s *S) update(pc uint64, taken bool) {}
+type F struct{}
+func (f *F) fused(pcs []uint64, takens []bool) {
+	for i := range pcs {
+		f.update(pcs[i], takens[i])
+	}
+}
+func (f *F) update(pc uint64, taken bool) {}`,
+			wantMatch: false,
+		},
+		{
+			name: "dropped-statement-detected",
+			src: `package fix
+type S struct{ n, m int64 }
+func (s *S) scalar() {
+	s.n++
+	s.m++
+}
+type F struct{ n, m int64 }
+func (f *F) fused() {
+	f.n++
+}`,
+			wantMatch: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertTwinMatch(t, tc.src, "scalar", "fused", tc.twinmap, tc.wantMatch)
+		})
+	}
+}

@@ -1,0 +1,34 @@
+// Package fix is the known-bad fixture for the equivcover analyzer: a
+// BatchStepper implementation whose only test runs it but never compares
+// it against the scalar Predict/Update protocol — no comparison sink, no
+// equivalence certificate.
+package fix
+
+type batcher struct {
+	n int64
+}
+
+func newBatcher() *batcher { return &batcher{} }
+
+func (b *batcher) Predict(pc uint64) bool { return pc&1 == 0 }
+
+func (b *batcher) Update(pc uint64, taken bool) {
+	if taken {
+		b.n++
+	}
+}
+
+// StepBatch is the fused batch path of the predictor above.
+func (b *batcher) StepBatch(pcs []uint64, takens []bool, from int) int64 { // want "has no equivalence test"
+	var mispred int64
+	for i := range pcs {
+		pred := pcs[i]&1 == 0
+		if takens[i] {
+			b.n++
+		}
+		if i >= from && pred != takens[i] {
+			mispred++
+		}
+	}
+	return mispred
+}

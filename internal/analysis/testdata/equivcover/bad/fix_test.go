@@ -1,0 +1,13 @@
+package fix
+
+import "testing"
+
+// TestBatchRuns exercises StepBatch but never compares it to the scalar
+// protocol: a smoke test, not an equivalence certificate, so the lint
+// must still flag the implementation.
+func TestBatchRuns(t *testing.T) {
+	b := newBatcher()
+	if b.StepBatch([]uint64{1, 2, 3}, []bool{true, false, true}, 0) < 0 {
+		t.Fatal("negative mispredict count")
+	}
+}

@@ -1,0 +1,69 @@
+// Package fix is the known-good fixture for the equivcover analyzer: the
+// twin pair and the BatchStepper implementation are both reached by tests
+// with genuine comparison sinks, and one uncovered legacy path carries a
+// documented allow.
+package fix
+
+type scalarSim struct {
+	taken int64
+}
+
+func (s *scalarSim) bump(takens []bool) {
+	for _, t := range takens {
+		if t {
+			s.taken++
+		}
+	}
+}
+
+type fusedSim struct {
+	taken int64
+}
+
+// bumpAll is the fused sweep over one batch column.
+//
+//bplint:twin fix.scalarSim.bump
+func (f *fusedSim) bumpAll(takens []bool) {
+	for i := range takens {
+		if takens[i] {
+			f.taken++
+		}
+	}
+}
+
+type batcher struct {
+	n int64
+}
+
+func newBatcher() *batcher { return &batcher{} }
+
+func (b *batcher) Predict(pc uint64) bool { return pc&1 == 0 }
+
+func (b *batcher) Update(pc uint64, taken bool) {
+	if taken {
+		b.n++
+	}
+}
+
+// StepBatch is the fused batch path of the predictor above.
+func (b *batcher) StepBatch(pcs []uint64, takens []bool, from int) int64 {
+	var mispred int64
+	for i := range pcs {
+		pred := pcs[i]&1 == 0
+		if takens[i] {
+			b.n++
+		}
+		if i >= from && pred != takens[i] {
+			mispred++
+		}
+	}
+	return mispred
+}
+
+type legacy struct{}
+
+// StepBatch keeps a retired batch path alive for one release; nothing
+// compares it anymore and the allow documents that.
+func (l *legacy) StepBatch(pcs []uint64, takens []bool, from int) int64 { //bplint:allow equivcover fixture: retired path, deleted next release
+	return 0
+}

@@ -1,0 +1,40 @@
+package fix
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBumpEquivalence runs the scalar reference and the fused sweep over
+// the same column and demands bit-identical tallies: the dynamic half of
+// the twin certification.
+func TestBumpEquivalence(t *testing.T) {
+	takens := []bool{true, false, true, true}
+	s := &scalarSim{}
+	f := &fusedSim{}
+	s.bump(takens)
+	f.bumpAll(takens)
+	if !reflect.DeepEqual(s.taken, f.taken) {
+		t.Fatalf("fused sweep drifted: scalar %d, fused %d", s.taken, f.taken)
+	}
+}
+
+// TestStepBatchEquivalence replays the batch through the scalar
+// Predict/Update protocol and compares mispredict counts.
+func TestStepBatchEquivalence(t *testing.T) {
+	pcs := []uint64{1, 2, 3, 4}
+	takens := []bool{true, false, true, false}
+	got := newBatcher().StepBatch(pcs, takens, 0)
+	ref := newBatcher()
+	var want int64
+	for i := range pcs {
+		pred := ref.Predict(pcs[i])
+		ref.Update(pcs[i], takens[i])
+		if pred != takens[i] {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("batch path drifted: got %d mispredicts, scalar replay %d", got, want)
+	}
+}

@@ -1,0 +1,32 @@
+// Package fix is the uncovered-twin-group fixture for the equivcover
+// analyzer: a statically certified twin pair with no equivalence test at
+// all. The finding lands on the //bplint:twin directive line, where no
+// want comment can ride, so fixture_test.go checks it by count.
+package fix
+
+type scalarSim struct {
+	taken int64
+}
+
+func (s *scalarSim) bump(takens []bool) {
+	for _, t := range takens {
+		if t {
+			s.taken++
+		}
+	}
+}
+
+type fusedSim struct {
+	taken int64
+}
+
+// bumpAll mirrors bump batch-wise, but nothing ever compares the two.
+//
+//bplint:twin fix.scalarSim.bump
+func (f *fusedSim) bumpAll(takens []bool) {
+	for i := range takens {
+		if takens[i] {
+			f.taken++
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package fix is the known-bad fixture for the fieldlanes analyzer:
+// scalar state with no declared lane, a participating lane struct with an
+// unannotated field, broken lane targets, and a lanecheck on a non-struct.
+package fix
+
+//bplint:lanecheck
+type scalarSim struct {
+	insts int64
+	taken int64
+	ghost int64 // want "is scalar state with no declared SoA lane"
+}
+
+type fusedRun struct {
+	insts  []int64 //bplint:lane scalarSim.insts
+	takens []int64 //bplint:lane scalarSim.taken
+	stray  []int64 // want "has no //bplint:lane annotation but its struct participates"
+	badown []int64 //bplint:lane nowhere.field // want "no struct type nowhere"
+	badfld []int64 //bplint:lane scalarSim.nosuch // want "struct scalarSim has no field nosuch"
+	badref []int64 //bplint:lane malformed // want "is not Owner.field"
+}
+
+//bplint:lanecheck
+type notAStruct int // want "applies to struct types"
+
+func (f *fusedRun) use(s *scalarSim) {
+	f.insts = append(f.insts, s.insts)
+	f.takens = append(f.takens, s.taken)
+	f.stray = append(f.stray, s.ghost)
+	f.badown = append(f.badown, int64(notAStruct(0)))
+	f.badfld = append(f.badfld, 0)
+	f.badref = append(f.badref, 0)
+}

@@ -1,0 +1,34 @@
+// Package fix is the known-good fixture for the fieldlanes analyzer: a
+// lanecheck'd scalar struct fully covered by lane claims, a dash with a
+// reason on both sides, a multi-target claim, and one documented allow.
+package fix
+
+// The dash below opts scalarSim into the mapping, so every field carries
+// an annotation: the mirrored ones claim their own lane in reverse,
+// making the cross-reference visible from both sides.
+//
+//bplint:lanecheck
+type scalarSim struct {
+	insts   int64 //bplint:lane fusedRun.insts
+	taken   int64 //bplint:lane fusedRun.tallies
+	mispred int64 //bplint:lane fusedRun.tallies
+	//bplint:lane - per-cell diagnostic; fused callers fall back to the scalar path for it
+	classes map[string]int64
+	loose   int64 //bplint:allow fieldlanes fixture: migration in flight, lane lands next change
+}
+
+type fusedRun struct {
+	insts []int64 //bplint:lane scalarSim.insts
+	// One lane column can carry several scalar fields when the fused
+	// representation folds them together.
+	tallies []int64 //bplint:lane scalarSim.taken,scalarSim.mispred
+	//bplint:lane - shared batch scratch; the scalar loop has no equivalent buffer
+	scratch []uint64
+}
+
+func (f *fusedRun) use(s *scalarSim) {
+	f.insts = append(f.insts, s.insts)
+	f.tallies = append(f.tallies, s.taken+s.mispred)
+	f.scratch = append(f.scratch, uint64(s.loose))
+	_ = s.classes
+}

@@ -1,0 +1,52 @@
+// Package fix is the known-bad fixture for the switchenum analyzer: a
+// typed-enum switch missing a member with no default, a directive-group
+// switch whose default returns instead of panicking, and an enum
+// directive too small to dispatch over.
+package fix
+
+type kind uint8
+
+const (
+	kindALU kind = iota
+	kindLoad
+	kindStore
+	numKinds
+)
+
+// Fetch classes, recognized by directive: the members are untyped bit
+// codes, so the typed-enum fallback cannot see them.
+//
+//bplint:enum fetchClass
+const (
+	fetchL1  = 1
+	fetchL2  = 2
+	fetchMem = 3
+)
+
+//bplint:enum lonely
+const ( // want "needs at least two non-sentinel members"
+	onlyOne = 1
+)
+
+func classify(k kind) int {
+	switch k { // want "does not handle kindStore and has no default"
+	case kindALU:
+		return 0
+	case kindLoad:
+		return 1
+	}
+	return 9
+}
+
+func latency(c int) int {
+	switch c {
+	case fetchL1:
+		return 1
+	case fetchL2:
+		return 8
+	default: // want "its default must panic"
+		return 0
+	}
+}
+
+func use() int { return classify(kindALU) + latency(fetchL1) + onlyOne + int(numKinds) }

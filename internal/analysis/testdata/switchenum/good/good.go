@@ -1,0 +1,65 @@
+// Package fix is the known-good fixture for the switchenum analyzer: an
+// exhaustive typed-enum switch, a directive-group switch over shifted
+// member forms with a panicking default, and one documented allow.
+package fix
+
+type kind uint8
+
+const (
+	kindALU kind = iota
+	kindLoad
+	kindStore
+	numKinds
+)
+
+const fetchShift = 4
+
+// Fetch classes as packed bit codes: switches dispatch on the shifted
+// forms, which still reference the members.
+//
+//bplint:enum fetchClass
+const (
+	fetchL1  = 1
+	fetchL2  = 2
+	fetchMem = 3
+)
+
+// classify references every kind member: no default needed.
+func classify(k kind) int {
+	switch k {
+	case kindALU:
+		return 0
+	case kindLoad, kindStore:
+		return 1
+	}
+	return 9
+}
+
+// latency handles two of three classes explicitly; the panicking default
+// spells out that the rest is impossible here.
+func latency(c int) int {
+	switch c {
+	case fetchL1 << fetchShift:
+		return 1
+	case fetchL2 << fetchShift:
+		return 8
+	default:
+		panic("fix: fetch class out of range")
+	}
+}
+
+// sample is deliberately partial and documented as such.
+func sample(k kind) bool {
+	switch k { //bplint:allow switchenum fixture: sampling probe, non-ALU kinds fall through by design
+	case kindALU:
+		return true
+	}
+	return false
+}
+
+func use() int {
+	if sample(kindALU) {
+		return classify(kindALU) + latency(fetchL1<<fetchShift) + fetchMem + int(numKinds)
+	}
+	return 0
+}

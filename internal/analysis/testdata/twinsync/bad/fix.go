@@ -1,0 +1,50 @@
+// Package fix is the known-bad fixture for the twinsync analyzer: a fused
+// sweep that silently lost one scalar tally, and a twinskip hanging on a
+// function that is not a twin target at all.
+package fix
+
+type scalarSim struct {
+	insts int64
+	taken int64
+}
+
+// bump is the scalar reference path: one branch record at a time.
+func (s *scalarSim) bump(pc uint64, taken bool) {
+	s.insts++
+	if taken {
+		s.taken++ // want "no counterpart in its fused twins"
+	}
+	s.note(pc, taken)
+}
+
+func (s *scalarSim) note(pc uint64, taken bool) {
+	_ = pc
+	_ = taken
+}
+
+type fusedSim struct {
+	insts int64
+	taken int64
+}
+
+// stepAll is the fused sweep. It drifted: the taken tally never made it
+// across, so scalarSim.bump and stepAll disagree on every taken branch.
+//
+//bplint:twin fix.scalarSim.bump
+func (f *fusedSim) stepAll(pcs []uint64, takens []bool) {
+	for i := range pcs {
+		f.insts++
+		f.note(pcs[i], takens[i])
+	}
+}
+
+func (f *fusedSim) note(pc uint64, taken bool) {
+	_ = pc
+	_ = taken
+}
+
+// orphan is not a twin of anything; its skip excuses nothing.
+func orphan() int {
+	//bplint:twinskip dangling excuse // want "does not cover a kernel statement"
+	return 1
+}

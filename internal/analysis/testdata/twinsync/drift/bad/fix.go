@@ -1,0 +1,54 @@
+// Package fix is the drifted half of the seeded-drift regression pair:
+// identical to the good half except for one edit — the scalar update call
+// now trains on the inverted outcome and the fused sweep was not touched.
+// Exactly one twinsync finding must surface, on the edited line.
+package fix
+
+type table struct {
+	bits []uint8
+}
+
+func (t *table) predict(pc uint64) bool { return t.bits[pc%uint64(len(t.bits))] > 1 }
+
+func (t *table) update(pc uint64, taken bool) {
+	i := pc % uint64(len(t.bits))
+	if taken && t.bits[i] < 3 {
+		t.bits[i]++
+	}
+	if !taken && t.bits[i] > 0 {
+		t.bits[i]--
+	}
+}
+
+type scalarSim struct {
+	p       *table
+	mispred int64
+}
+
+// step is the scalar reference: predict, update, tally. The update call
+// drifted — it trains on !taken — and stepAll below still trains on taken.
+func (s *scalarSim) step(pc uint64, taken bool) {
+	pred := s.p.predict(pc)
+	s.p.update(pc, !taken) // want "no counterpart in its fused twins"
+	if pred != taken {
+		s.mispred++
+	}
+}
+
+type fusedSim struct {
+	p       *table
+	mispred int64
+}
+
+// stepAll is the fused sweep over one batch column.
+//
+//bplint:twin fix.scalarSim.step
+func (f *fusedSim) stepAll(pcs []uint64, takens []bool) {
+	for i := range pcs {
+		pred := f.p.predict(pcs[i])
+		f.p.update(pcs[i], takens[i])
+		if pred != takens[i] {
+			f.mispred++
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package fix is the in-sync half of the seeded-drift regression pair:
+// the fused sweep mirrors the scalar predictor loop exactly. The bad half
+// is this file with one scalar argument edited and the fused side left
+// behind — the minimal unmirrored edit the twin certification exists to
+// catch.
+package fix
+
+type table struct {
+	bits []uint8
+}
+
+func (t *table) predict(pc uint64) bool { return t.bits[pc%uint64(len(t.bits))] > 1 }
+
+func (t *table) update(pc uint64, taken bool) {
+	i := pc % uint64(len(t.bits))
+	if taken && t.bits[i] < 3 {
+		t.bits[i]++
+	}
+	if !taken && t.bits[i] > 0 {
+		t.bits[i]--
+	}
+}
+
+type scalarSim struct {
+	p       *table
+	mispred int64
+}
+
+// step is the scalar reference: predict, update, tally.
+func (s *scalarSim) step(pc uint64, taken bool) {
+	pred := s.p.predict(pc)
+	s.p.update(pc, taken)
+	if pred != taken {
+		s.mispred++
+	}
+}
+
+type fusedSim struct {
+	p       *table
+	mispred int64
+}
+
+// stepAll is the fused sweep over one batch column.
+//
+//bplint:twin fix.scalarSim.step
+func (f *fusedSim) stepAll(pcs []uint64, takens []bool) {
+	for i := range pcs {
+		pred := f.p.predict(pcs[i])
+		f.p.update(pcs[i], takens[i])
+		if pred != takens[i] {
+			f.mispred++
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package fix is the known-good fixture for the twinsync analyzer: a
+// fused sweep that mirrors its scalar reference, a twinmap bridging a
+// renamed field, a justified twinskip on a genuinely re-organized tally,
+// and one documented allow.
+package fix
+
+type scalarSim struct {
+	insts   int64
+	taken   int64
+	mispred int64
+	extra   int64
+}
+
+// bump is the scalar reference path: one branch record at a time.
+func (s *scalarSim) bump(pc uint64, taken bool) {
+	s.insts++
+	if taken {
+		s.taken++
+	}
+	//bplint:twinskip the fused sweep reconstructs mispredicts from its lane columns after the pass
+	s.mispred++
+	s.note(pc, taken)
+	s.extra++ //bplint:allow twinsync fixture: documented divergence kept to exercise the escape hatch
+}
+
+func (s *scalarSim) note(pc uint64, taken bool) {
+	_ = pc
+	_ = taken
+}
+
+type fusedSim struct {
+	count int64
+	taken int64
+}
+
+// stepAll is the fused sweep: same tallies, batch at a time. The insts
+// counter was renamed count on this side; the twinmap records the
+// equivalence the normalizer cannot derive.
+//
+//bplint:twin fix.scalarSim.bump
+//bplint:twinmap insts=count
+func (f *fusedSim) stepAll(pcs []uint64, takens []bool) {
+	for i := range pcs {
+		f.count++
+		if takens[i] {
+			f.taken++
+		}
+		f.note(pcs[i], takens[i])
+	}
+}
+
+func (f *fusedSim) note(pc uint64, taken bool) {
+	_ = pc
+	_ = taken
+}

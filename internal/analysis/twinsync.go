@@ -1,0 +1,538 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// TwinSync certifies that a fused fast path mirrors its scalar reference.
+// A fused function carries //bplint:twin pkg.Recv.Method (or pkg.Func)
+// naming the scalar twin it re-implements; every function carrying the
+// same target forms one twin group, and the group's fused sides together
+// must cover every kernel statement of the scalar body under the
+// normalization rules of normalize.go. A scalar statement with no fused
+// counterpart is exactly an unmirrored edit — the drift the sampled
+// equivalence tests can only catch for the configs they happen to run —
+// and is reported at the scalar line so both sides of the divergence are
+// one jump away.
+//
+// Two companion directives keep the check honest rather than noisy:
+// //bplint:twinmap a=b records a name equivalence the normalizer cannot
+// derive (gshare's scalar Update versus the fused PredictUpdate), and
+// //bplint:twinskip <reason>, placed on or directly above a scalar
+// statement, excludes a statement whose fused counterpart is a genuine
+// re-organization (the byte-ring commit scheme) — each skip must carry a
+// justification and must land on a real kernel, so waivers stay
+// reviewable and die with the code they excuse.
+var TwinSync = &Analyzer{
+	Name: "twinsync",
+	Doc:  "fused fast paths marked //bplint:twin must cover every kernel statement of their scalar reference",
+	Run:  runTwinSync,
+}
+
+var (
+	twinRe     = regexp.MustCompile(`^//\s*bplint:twin\s+(\S+)\s*$`)
+	twinmapRe  = regexp.MustCompile(`^//\s*bplint:twinmap\s+(.+?)\s*$`)
+	twinskipRe = regexp.MustCompile(`^//\s*bplint:twinskip\s*(.*?)\s*$`)
+)
+
+// twinGroup collects every fused function that names one scalar target.
+type twinGroup struct {
+	target     string
+	scalarObj  types.Object
+	scalarDecl *ast.FuncDecl
+	fused      []*ast.FuncDecl
+	pos        token.Pos // first directive, for target-level findings
+	twinmap    map[string]string
+}
+
+// twinSkip is one //bplint:twinskip occurrence.
+type twinSkip struct {
+	pos    token.Pos
+	file   string
+	line   int
+	reason string
+	used   bool
+}
+
+func runTwinSync(pass *Pass) {
+	decls := funcDecls(pass)
+	groups := collectTwinGroups(pass, decls, pass.Reportf)
+	skips := collectTwinSkips(pass)
+	targets := make([]string, 0, len(groups))
+	for t := range groups {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, t := range targets {
+		checkTwinGroup(pass, groups[t], decls, skips)
+	}
+	for _, sk := range skips {
+		if !sk.used {
+			pass.Reportf(sk.pos, "//bplint:twinskip does not cover a kernel statement of any twin target — delete it or move it onto the scalar statement it excuses")
+		}
+	}
+}
+
+// collectTwinGroups scans function doc comments for //bplint:twin and
+// //bplint:twinmap directives, resolving each target to a same-package
+// function or method. Directive problems go through report so that
+// equivcover can reuse the scan without double-reporting them.
+func collectTwinGroups(pass *Pass, decls map[types.Object]*ast.FuncDecl, report func(token.Pos, string, ...any)) map[string]*twinGroup {
+	groups := map[string]*twinGroup{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var fdGroups []*twinGroup
+			var fdMap map[string]string
+			for _, c := range fd.Doc.List {
+				if m := twinRe.FindStringSubmatch(c.Text); m != nil {
+					g := resolveTwinTarget(pass, decls, m[1], c.Pos(), groups, report)
+					if g == nil {
+						continue
+					}
+					if g.scalarDecl == fd {
+						report(c.Pos(), "//bplint:twin target %s is the annotated function itself", m[1])
+						continue
+					}
+					g.fused = append(g.fused, fd)
+					fdGroups = append(fdGroups, g)
+					continue
+				}
+				if m := twinmapRe.FindStringSubmatch(c.Text); m != nil {
+					if fdMap == nil {
+						fdMap = map[string]string{}
+					}
+					parseTwinMap(m[1], c.Pos(), fdMap, report)
+				}
+			}
+			if fdMap != nil && len(fdGroups) == 0 {
+				report(fd.Pos(), "//bplint:twinmap on %s has no //bplint:twin directive to apply to", fd.Name.Name)
+			}
+			for _, g := range fdGroups {
+				for k, v := range fdMap {
+					g.twinmap[k] = v
+				}
+			}
+		}
+	}
+	return groups
+}
+
+func resolveTwinTarget(pass *Pass, decls map[types.Object]*ast.FuncDecl, target string, pos token.Pos, groups map[string]*twinGroup, report func(token.Pos, string, ...any)) *twinGroup {
+	if g, ok := groups[target]; ok {
+		return g
+	}
+	parts := strings.Split(target, ".")
+	if len(parts) < 2 || len(parts) > 3 || parts[0] != pass.Pkg.Name() {
+		report(pos, "//bplint:twin target %q must name a same-package function as %s.Func or %s.Recv.Method", target, pass.Pkg.Name(), pass.Pkg.Name())
+		return nil
+	}
+	var obj types.Object
+	if len(parts) == 2 {
+		obj = pass.Pkg.Scope().Lookup(parts[1])
+	} else {
+		tn, _ := pass.Pkg.Scope().Lookup(parts[1]).(*types.TypeName)
+		if tn == nil {
+			report(pos, "//bplint:twin target %q: no type %s in package %s", target, parts[1], pass.Pkg.Name())
+			return nil
+		}
+		obj, _, _ = types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pass.Pkg, parts[2])
+	}
+	fn, _ := obj.(*types.Func)
+	if fn == nil || decls[fn] == nil || decls[fn].Body == nil {
+		report(pos, "//bplint:twin target %q does not resolve to a function declared in this package", target)
+		return nil
+	}
+	g := &twinGroup{
+		target:     target,
+		scalarObj:  fn,
+		scalarDecl: decls[fn],
+		pos:        pos,
+		twinmap:    map[string]string{},
+	}
+	groups[target] = g
+	return g
+}
+
+func parseTwinMap(args string, pos token.Pos, into map[string]string, report func(token.Pos, string, ...any)) {
+	for _, pair := range strings.Fields(args) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" || v == "" {
+			report(pos, "//bplint:twinmap entry %q is not name=name", pair)
+			continue
+		}
+		into[baseNormalize(k)] = baseNormalize(v)
+	}
+}
+
+// baseNormalize applies the identifier folding of renderer.normalizeName
+// without the twinmap step, for directive arguments.
+func baseNormalize(name string) string {
+	n := strings.ToLower(name)
+	if len(n) > 1 && strings.HasSuffix(n, "s") {
+		n = n[:len(n)-1]
+	}
+	return n
+}
+
+func collectTwinSkips(pass *Pass) []*twinSkip {
+	var out []*twinSkip
+	for _, file := range pass.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := twinskipRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if m[1] == "" {
+					pass.Reportf(c.Pos(), "//bplint:twinskip requires a justification: why does this scalar statement have no fused counterpart?")
+				}
+				out = append(out, &twinSkip{pos: c.Pos(), file: p.Filename, line: p.Line, reason: m[1]})
+			}
+		}
+	}
+	return out
+}
+
+// keySet indexes the fused side of a twin group. prefix maps each
+// "callee(firstArg" key to the largest argument count seen among the fused
+// calls producing it: a scalar call may match by prefix only against a
+// fused call with strictly more arguments (state threading like
+// advanceFetch(t) → advanceTo(t, cursor...)), never against an equal-arity
+// call whose trailing arguments may have drifted.
+type keySet struct {
+	full   map[string]bool
+	rhs    map[string]bool
+	prefix map[string]int
+}
+
+func newKeySet() *keySet {
+	return &keySet{full: map[string]bool{}, rhs: map[string]bool{}, prefix: map[string]int{}}
+}
+
+func (ks *keySet) add(k kernel) {
+	for _, s := range k.full {
+		ks.full[s] = true
+	}
+	for _, s := range k.rhs {
+		ks.rhs[s] = true
+	}
+	for _, s := range k.callPrefix {
+		if k.arity > ks.prefix[s] {
+			ks.prefix[s] = k.arity
+		}
+	}
+	// A fused call also serves as an RHS: the scalar side may bind the
+	// same call's result where the fused side discards it, or vice versa.
+	if k.kind == kernelCall {
+		for _, s := range k.full {
+			ks.rhs[s] = true
+		}
+	}
+}
+
+// matches reports whether scalar kernel k has a fused counterpart.
+func (ks *keySet) matches(k kernel) bool {
+	for _, s := range k.full {
+		if ks.full[s] {
+			return true
+		}
+	}
+	switch k.kind {
+	case kernelCall:
+		for _, s := range k.full {
+			if ks.rhs[s] {
+				return true
+			}
+		}
+		for _, s := range k.callPrefix {
+			if ks.prefix[s] > k.arity {
+				return true
+			}
+		}
+	case kernelReturn:
+		for _, s := range k.rhs {
+			if ks.rhs[s] || ks.full[s] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkTwinGroup(pass *Pass, g *twinGroup, decls map[types.Object]*ast.FuncDecl, skips []*twinSkip) {
+	ks := newKeySet()
+	for _, fd := range g.fused {
+		for _, k := range extractKernels(pass, fd, g.twinmap, decls, nil) {
+			ks.add(k)
+		}
+	}
+	for _, k := range extractKernels(pass, g.scalarDecl, g.twinmap, decls, skips) {
+		if ks.matches(k) {
+			continue
+		}
+		// Argless same-package helper calls (breakFetch) fall back to
+		// body inlining: the call is covered if every kernel of the
+		// callee's body has a fused counterpart.
+		if k.kind == kernelCall && k.argless && k.calleeObj != nil {
+			if callee := decls[k.calleeObj]; callee != nil && callee.Body != nil {
+				inner := extractKernels(pass, callee, g.twinmap, decls, nil)
+				covered := len(inner) > 0
+				for _, ik := range inner {
+					if !ks.matches(ik) {
+						covered = false
+						break
+					}
+				}
+				if covered {
+					continue
+				}
+			}
+		}
+		fused := make([]string, 0, len(g.fused))
+		for _, fd := range g.fused {
+			fused = append(fused, fd.Name.Name)
+		}
+		pass.Reportf(k.pos, "scalar statement of %s has no counterpart in its fused twins (%s) — normalized form %q; mirror the edit or //bplint:twinskip it with a reason",
+			g.target, strings.Join(fused, ", "), k.full[0])
+	}
+}
+
+// extractKernels walks fn's body and renders every kernel statement under
+// all normalization variants. When skips is non-nil (the scalar side), a
+// statement on or directly below a //bplint:twinskip line is excluded,
+// subtree included, and the skip is marked used.
+func extractKernels(pass *Pass, fn *ast.FuncDecl, twinmap map[string]string, decls map[types.Object]*ast.FuncDecl, skips []*twinSkip) []kernel {
+	if fn.Body == nil {
+		return nil
+	}
+	locals := collectLocalInfo(pass.Info, fn)
+	var recvObj types.Object
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		recvObj = pass.Info.Defs[fn.Recv.List[0].Names[0]]
+	}
+	renderers := make([]*renderer, len(renderVariants))
+	for i, opts := range renderVariants {
+		r := newRenderer(pass.Info, pass.Pkg, locals, decls, twinmap, opts)
+		r.recvObj = recvObj
+		renderers[i] = r
+	}
+	skipped := func(s ast.Stmt) bool {
+		if skips == nil {
+			return false
+		}
+		p := pass.Fset.Position(s.Pos())
+		hit := false
+		for _, sk := range skips {
+			if sk.file == p.Filename && (sk.line == p.Line || sk.line == p.Line-1) {
+				sk.used = true
+				hit = true
+			}
+		}
+		return hit
+	}
+	var kernels []kernel
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		if s == nil || skipped(s) {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(s.Init)
+			walk(s.Body)
+			walk(s.Else)
+		case *ast.ForStmt:
+			// Loop headers are structural: the fused twin restructures
+			// iteration (per-lane sweeps, batch loops) freely.
+			walk(s.Body)
+		case *ast.RangeStmt:
+			walk(s.Body)
+		case *ast.SwitchStmt:
+			walk(s.Init)
+			for _, cc := range s.Body.List {
+				for _, st := range cc.(*ast.CaseClause).Body {
+					walk(st)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			walk(s.Init)
+			for _, cc := range s.Body.List {
+				for _, st := range cc.(*ast.CaseClause).Body {
+					walk(st)
+				}
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt)
+		case *ast.AssignStmt:
+			kernels = append(kernels, assignKernels(renderers, s)...)
+		case *ast.IncDecStmt:
+			k := kernel{kind: kernelIncDec, stmt: s, pos: s.Pos()}
+			k.full = distinct(renderers, func(r *renderer) string {
+				return r.renderNoSubst(s.X) + s.Tok.String()
+			})
+			kernels = append(kernels, k)
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				kernels = append(kernels, callKernel(renderers, s, s.Pos(), call))
+			}
+		case *ast.ReturnStmt:
+			if k, ok := returnKernel(renderers, s); ok {
+				kernels = append(kernels, k)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				kernels = append(kernels, declKernels(renderers, s, gd)...)
+			}
+		}
+	}
+	walk(fn.Body)
+	return kernels
+}
+
+// distinct renders via every variant renderer and deduplicates.
+func distinct(renderers []*renderer, f func(*renderer) string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range renderers {
+		s := f(r)
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func assignKernels(renderers []*renderer, s *ast.AssignStmt) []kernel {
+	if len(s.Lhs) != len(s.Rhs) {
+		// A tuple capture from one call is the call, kernel-wise: the
+		// fused twin may bind different (or no) results.
+		if len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				return []kernel{callKernel(renderers, s, s.Pos(), call)}
+			}
+		}
+		return nil
+	}
+	var out []kernel
+	op := s.Tok.String()
+	if s.Tok == token.DEFINE {
+		op = "="
+	}
+	for i := range s.Lhs {
+		lhs, rhs := s.Lhs[i], s.Rhs[i]
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		k := kernel{kind: kernelAssign, stmt: s, pos: lhs.Pos()}
+		k.full = distinct(renderers, func(r *renderer) string {
+			return r.renderNoSubst(lhs) + op + r.render(rhs)
+		})
+		if op == "=" {
+			k.rhs = distinct(renderers, func(r *renderer) string {
+				return r.render(rhs)
+			})
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				ck := callKernel(renderers, s, lhs.Pos(), call)
+				k.callPrefix, k.arity = ck.callPrefix, ck.arity
+			}
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+func callKernel(renderers []*renderer, stmt ast.Stmt, pos token.Pos, call *ast.CallExpr) kernel {
+	k := kernel{kind: kernelCall, stmt: stmt, pos: pos, argless: len(call.Args) == 0, arity: len(call.Args)}
+	k.full = distinct(renderers, func(r *renderer) string {
+		return r.render(call)
+	})
+	_, _, k.calleeObj = renderers[0].calleeOf(call)
+	if len(call.Args) > 0 {
+		k.callPrefix = distinct(renderers, func(r *renderer) string {
+			callee, recv, _ := r.calleeOf(call)
+			if recv != "" {
+				callee = recv + "." + callee
+			}
+			return callee + "(" + r.render(call.Args[0])
+		})
+	}
+	return k
+}
+
+// returnKernel renders a return with at least one non-trivial result;
+// `return true` and friends are protocol glue, not mirrored computation.
+func returnKernel(renderers []*renderer, s *ast.ReturnStmt) (kernel, bool) {
+	if len(s.Results) == 0 {
+		return kernel{}, false
+	}
+	trivial := true
+	for _, res := range s.Results {
+		switch e := ast.Unparen(res).(type) {
+		case *ast.BasicLit:
+		case *ast.Ident:
+			if e.Name != "true" && e.Name != "false" && e.Name != "nil" {
+				trivial = false
+			}
+		default:
+			trivial = false
+		}
+	}
+	if trivial {
+		return kernel{}, false
+	}
+	k := kernel{kind: kernelReturn, stmt: s, pos: s.Pos()}
+	k.full = distinct(renderers, func(r *renderer) string {
+		parts := make([]string, len(s.Results))
+		for i, res := range s.Results {
+			parts[i] = r.render(res)
+		}
+		return "return " + strings.Join(parts, ",")
+	})
+	for _, res := range s.Results {
+		res := res
+		k.rhs = append(k.rhs, distinct(renderers, func(r *renderer) string {
+			return r.render(res)
+		})...)
+	}
+	return k, true
+}
+
+func declKernels(renderers []*renderer, stmt ast.Stmt, gd *ast.GenDecl) []kernel {
+	var out []kernel
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i >= len(vs.Values) || name.Name == "_" {
+				continue
+			}
+			val := vs.Values[i]
+			k := kernel{kind: kernelAssign, stmt: stmt, pos: name.Pos()}
+			k.full = distinct(renderers, func(r *renderer) string {
+				return r.renderNoSubst(name) + "=" + r.render(val)
+			})
+			k.rhs = distinct(renderers, func(r *renderer) string {
+				return r.render(val)
+			})
+			out = append(out, k)
+		}
+	}
+	return out
+}

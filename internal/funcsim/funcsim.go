@@ -175,17 +175,19 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) Result {
 //     previous branch's cycle (lastCycle starts at 0, so cycle 0 is never
 //     announced) — a function of branch InstIndexes only, because the slow
 //     loop also evaluates it only at branches.
+//
+//bplint:lanecheck
 type branchRun struct {
-	p          predictor.Predictor
-	cycleAware predictor.CycleAware
-	classifier BranchClassifier
-	classRates map[string]*stats.Rate
-	opts       Options
+	p          predictor.Predictor    //bplint:lane fusedRun.preds
+	cycleAware predictor.CycleAware   //bplint:lane fusedRun.aware
+	classifier BranchClassifier       //bplint:lane - PerClass is a per-cell diagnostic; fused callers route such cells through Run
+	classRates map[string]*stats.Rate //bplint:lane - PerClass is a per-cell diagnostic; fused callers route such cells through Run
+	opts       Options                //bplint:lane fusedRun.opts
 
-	insts     int64
-	taken     stats.Rate
-	mispred   stats.Rate
-	lastCycle uint64
+	insts     int64      //bplint:lane fusedRun.insts
+	taken     stats.Rate //bplint:lane fusedRun.taken
+	mispred   stats.Rate //bplint:lane fusedRun.mispred
+	lastCycle uint64     //bplint:lane fusedRun.lastCycle
 }
 
 // driveCursor is drive specialized to the concrete replay cursor so the
@@ -241,9 +243,13 @@ func (r *branchRun) step(batch []trace.BranchRec) (done bool) {
 		pred := r.p.Predict(rec.PC)
 		r.p.Update(rec.PC, rec.Taken)
 		if rec.InstIndex >= r.opts.WarmupInsts {
+			//bplint:twinskip fused tallies taken once per batch into a shared stream-wide counter, not per lane
 			r.taken.Add(rec.Taken)
+			//bplint:twinskip fused folds the comparison into its lane tally's guard condition
 			miss := pred != rec.Taken
+			//bplint:twinskip fused counts raw lane mispredicts; Rate denominators reconstruct in results
 			r.mispred.Add(miss)
+			//bplint:twinskip PerClass is a per-cell diagnostic; fused callers route such cells through Run
 			if r.classifier != nil {
 				if name, ok := r.classifier.BranchClassName(rec.PC); ok {
 					cr := r.classRates[name]

@@ -60,24 +60,29 @@ func RunMany(lanes []Lane, src trace.BranchSource, opts Options) []Result {
 // lane-invariant — they are functions of the stream's InstIndexes alone —
 // so they are computed once per batch, not once per lane.
 type fusedRun struct {
-	opts Options
+	opts Options //bplint:lane branchRun.opts
 
 	// Per-lane state, index-aligned with the lanes slice.
-	preds     []predictor.Predictor
-	aware     []predictor.CycleAware   // nil for cycle-oblivious lanes
+	preds []predictor.Predictor //bplint:lane branchRun.p
+	//bplint:lane branchRun.cycleAware
+	aware []predictor.CycleAware // nil for cycle-oblivious lanes
+	//bplint:lane branchRun.p
 	steppers  []predictor.BatchStepper // nil for lanes on the scalar loop
-	mispred   []int64
-	lastCycle []uint64
+	mispred   []int64                  //bplint:lane branchRun.mispred
+	lastCycle []uint64                 //bplint:lane branchRun.lastCycle
 
-	// Stream-wide tallies, shared by every lane.
-	insts    int64
-	measured int64
-	taken    int64
+	// Stream-wide tallies, shared by every lane: insts and the measured
+	// count are functions of the stream's InstIndexes alone, and the taken
+	// tally with the measured denominator reconstructs every lane's
+	// branchRun rates in results.
+	insts    int64 //bplint:lane branchRun.insts
+	measured int64 //bplint:lane branchRun.taken,branchRun.mispred
+	taken    int64 //bplint:lane branchRun.taken
 
 	// SoA view of the current batch, filled once and read by every
 	// BatchStepper lane.
-	pcs    [trace.BatchLen]uint64
-	takens [trace.BatchLen]bool
+	pcs    [trace.BatchLen]uint64 //bplint:lane - column view of the shared batch; the scalar loop reads records directly
+	takens [trace.BatchLen]bool   //bplint:lane - column view of the shared batch; the scalar loop reads records directly
 }
 
 func newFusedRun(lanes []Lane, opts Options) *fusedRun {
@@ -105,6 +110,7 @@ func newFusedRun(lanes []Lane, opts Options) *fusedRun {
 // driveCursor is drive specialized to the concrete replay cursor so the
 // batch array does not escape to the heap (see Run).
 //
+//bplint:twin funcsim.branchRun.driveCursor
 //bplint:hotpath fused accuracy sweep; TestRunManyAllocs pins steady-state allocs to zero
 func (r *fusedRun) driveCursor(cur *trace.Cursor) {
 	var batch [trace.BatchLen]trace.BranchRec
@@ -121,6 +127,8 @@ func (r *fusedRun) driveCursor(cur *trace.Cursor) {
 }
 
 // drive runs the fused loop over any BranchSource.
+//
+//bplint:twin funcsim.branchRun.drive
 func (r *fusedRun) drive(bs trace.BranchSource) {
 	batch := make([]trace.BranchRec, trace.BatchLen)
 	for {
@@ -142,6 +150,8 @@ func (r *fusedRun) drive(bs trace.BranchSource) {
 // InstIndexes; because records ascend by InstIndex, the cut and the
 // boundary are single positions valid for every lane.
 //
+//bplint:twin funcsim.branchRun.step
+//bplint:twinmap p=pred cycleaware=aware
 //bplint:hotpath fused batch loop shared by driveCursor and drive
 func (r *fusedRun) step(batch []trace.BranchRec) (done bool) {
 	cut := len(batch)
@@ -194,6 +204,8 @@ func (r *fusedRun) step(batch []trace.BranchRec) (done bool) {
 
 // finish fixes the instruction count when the stream ended before the
 // budget, mirroring branchRun.finish.
+//
+//bplint:twin funcsim.branchRun.finish
 func (r *fusedRun) finish(streamLen int64) {
 	r.insts = streamLen
 	if r.insts > r.opts.MaxInsts {

@@ -220,25 +220,26 @@ const (
 // lane's fetch stall; latTab maps lcls latency classes to execution
 // latencies.
 type laneConst struct {
-	feDepth     uint64
-	btbPenalty  uint64
-	recovery    uint64
-	commitWidth uint64
-	fetchWidth  int
-	robSize     int
-	fLat        [4]uint64 // by fetch class: none, L1, L2, mem
-	latTab      [numLats]uint64
-	l2Lat       uint64
-	memLat      uint64
+	feDepth     uint64 //bplint:lane runState.feDepth
+	btbPenalty  uint64 //bplint:lane Sim.cfg
+	recovery    uint64 //bplint:lane Sim.recovery
+	commitWidth uint64 //bplint:lane Sim.cfg
+	fetchWidth  int    //bplint:lane Sim.cfg
+	robSize     int    //bplint:lane Sim.cfg
+	//bplint:lane Sim.cfg
+	fLat   [4]uint64       // by fetch class: none, L1, L2, mem
+	latTab [numLats]uint64 //bplint:lane Sim.cfg
+	l2Lat  uint64          //bplint:lane Sim.cfg
+	memLat uint64          //bplint:lane Sim.cfg
 }
 
 // laneOrg is a lane's predictor organization: the predictor and its
 // pre-resolved capability interfaces, mirroring Sim's over/cycleAware
 // fields.
 type laneOrg struct {
-	pred       predictor.Predictor
-	over       *core.Overriding
-	cycleAware predictor.CycleAware
+	pred       predictor.Predictor  //bplint:lane Sim.pred
+	over       *core.Overriding     //bplint:lane Sim.over
+	cycleAware predictor.CycleAware //bplint:lane Sim.cycleAware
 }
 
 // laneRings is a lane's issue-bandwidth and port scoreboard plus its ROB
@@ -249,35 +250,38 @@ type laneOrg struct {
 // forget-on-alias ring degenerates to the (lastCommit, commitUsed) scalar
 // pair in laneCursor — bit-identical by construction.
 type laneRings struct {
-	issue      byteRing
-	ports      [numPorts]byteRing
-	commitRing []uint64
+	issue      byteRing           //bplint:lane Sim.issueRing
+	ports      [numPorts]byteRing //bplint:lane Sim.intRing,Sim.memRing,Sim.mulRing,Sim.fpRing
+	commitRing []uint64           //bplint:lane Sim.commitRing
 	// clearedTo is the rings' zeroed horizon: count bytes are valid for
 	// cycles in [clearedTo-ringSize, clearedTo) and zero from the scan
 	// frontier up to clearedTo; extend advances it in clearChunk strides.
+	//
+	//bplint:lane - byteRing zeroed-horizon bookkeeping; slotRing forgets stale cycles per probe instead
 	clearedTo uint64
 }
 
 // laneCaches is a lane's live memory hierarchy, exercised only when no
 // sidecar covers the run.
 type laneCaches struct {
-	icache *cache.Cache
-	dcache *cache.Cache
-	l2     *cache.Cache
+	icache *cache.Cache //bplint:lane Sim.icache
+	dcache *cache.Cache //bplint:lane Sim.dcache
+	l2     *cache.Cache //bplint:lane Sim.l2
 }
 
 // laneCursor is a lane's mutable scalar state between instructions. One
 // entry spans a single cache line, so the per-instruction lane sweep
 // touches one hot line per lane.
 type laneCursor struct {
-	fetchCycle     uint64
-	lastFetchBlock uint64
-	lastCommit     uint64
-	commitUsed     uint64 // commits taken at cycle lastCommit
-	fetchStall     uint64
-	warmupCycle    uint64
-	fetchUsed      int
-	robIdx         int
+	fetchCycle     uint64 //bplint:lane Sim.fetchCycle
+	lastFetchBlock uint64 //bplint:lane Sim.lastFetchBlock
+	lastCommit     uint64 //bplint:lane Sim.lastCommit
+	//bplint:lane Sim.commitRing2
+	commitUsed  uint64 // commits taken at cycle lastCommit; replaces the monotone commit slot ring
+	fetchStall  uint64 //bplint:lane Sim.fetchStall
+	warmupCycle uint64 //bplint:lane runState.warmupCycle,Sim.cycles
+	fetchUsed   int    //bplint:lane Sim.fetchUsed
+	robIdx      int    //bplint:lane Sim.robIdx
 }
 
 // laneTallies is a lane's statistics: branch and BTB rates, and the
@@ -285,47 +289,51 @@ type laneCursor struct {
 // redirect pattern, so the column cannot be shared the way the D-side one
 // is — see fusedRun.lT).
 type laneTallies struct {
-	branches     stats.Rate
-	measBranches stats.Rate
-	overrides    stats.Rate
-	btbMisses    stats.Rate
-	fT           [4]uint64
+	branches     stats.Rate //bplint:lane Sim.branches
+	measBranches stats.Rate //bplint:lane Sim.measBranches
+	overrides    stats.Rate //bplint:lane Sim.overrides
+	btbMisses    stats.Rate //bplint:lane Sim.btbMisses
+	fT           [4]uint64  //bplint:lane Sim.sideL1IAcc,Sim.sideL1IMiss
 }
 
 // fusedRun is the engine state: per-lane state in index-aligned SoA slices
 // (one slice per state family, all indexed by lane), the shared stream
 // cursor, and the shared per-batch columns.
 type fusedRun struct {
-	consts  []laneConst
-	orgs    []laneOrg
-	rings   []laneRings
-	btbs    []*btb.BTB
-	caches  []laneCaches
-	cursors []laneCursor
-	tallies []laneTallies
-	regs    [][trace.NumRegs]uint64 // per-lane register-ready cycles
+	consts  []laneConst   //bplint:lane - SoA family; its per-field mapping is declared on laneConst
+	orgs    []laneOrg     //bplint:lane - SoA family; its per-field mapping is declared on laneOrg
+	rings   []laneRings   //bplint:lane - SoA family; its per-field mapping is declared on laneRings
+	btbs    []*btb.BTB    //bplint:lane Sim.btb
+	caches  []laneCaches  //bplint:lane - SoA family; its per-field mapping is declared on laneCaches
+	cursors []laneCursor  //bplint:lane - SoA family; its per-field mapping is declared on laneCursor
+	tallies []laneTallies //bplint:lane - SoA family; its per-field mapping is declared on laneTallies
+	//bplint:lane Sim.regReady
+	regs [][trace.NumRegs]uint64 // per-lane register-ready cycles
 
-	insts       int64 // instructions fed to every lane so far
-	maxInsts    int64
-	warmupInsts int64
-	blockMask   uint64
-	side        *MemSidecar
-	sideActive  bool
+	//bplint:lane Sim.insts
+	insts       int64       // instructions fed to every lane so far
+	maxInsts    int64       //bplint:lane runState.maxInsts
+	warmupInsts int64       //bplint:lane Sim.warmupInsts,runState.warmupInsts
+	blockMask   uint64      //bplint:lane runState.blockMask
+	side        *MemSidecar //bplint:lane Sim.side
+	sideActive  bool        //bplint:lane Sim.sideActive
 
 	// lT and sT are the D-side sidecar class histograms. Loads and stores
 	// access the D-cache unconditionally in program order, so — unlike the
 	// I-side — every lane's tally is identical and one shared count
 	// serves the whole column.
-	lT [4]uint64
-	sT [4]uint64
+	lT [4]uint64 //bplint:lane Sim.sideL1DAcc,Sim.sideL1DMiss,Sim.sideL2Acc,Sim.sideL2Miss
+	sT [4]uint64 //bplint:lane Sim.sideL1DAcc,Sim.sideL1DMiss
 
-	// Shared per-batch columns, computed once per batch by prep.
-	batch  [trace.InstBatchLen]trace.Inst
-	blocks [trace.InstBatchLen]uint64
-	pcls   [trace.InstBatchLen]uint8
-	lcls   [trace.InstBatchLen]uint8
-	fcls   [trace.InstBatchLen]uint8
-	mcls   [trace.InstBatchLen]uint8
+	// Shared per-batch columns, computed once per batch by prep. The class
+	// columns fcls/mcls are the sidecar bytes unpacked by batch offset,
+	// replacing the scalar run's per-instruction sideIdx cursor.
+	batch  [trace.InstBatchLen]trace.Inst //bplint:lane - shared batch buffer; the scalar loop steps one *trace.Inst at a time
+	blocks [trace.InstBatchLen]uint64     //bplint:lane - precomputed column of Sim.step's per-instruction block local
+	pcls   [trace.InstBatchLen]uint8      //bplint:lane - precomputed column of Sim.step's issue-port dispatch
+	lcls   [trace.InstBatchLen]uint8      //bplint:lane - precomputed column of Sim.step's execution-latency selection
+	fcls   [trace.InstBatchLen]uint8      //bplint:lane Sim.sideIdx
+	mcls   [trace.InstBatchLen]uint8      //bplint:lane Sim.sideIdx
 }
 
 // newFusedRun builds the per-lane SoA state for one fused pass.
@@ -405,6 +413,7 @@ func newFusedRun(lanes []Lane, side *MemSidecar, maxInsts, warmupInsts int64) *f
 // cursor, mirroring runCursor: devirtualized batch fill, then the lane
 // sweep over the shared batch.
 //
+//bplint:twin pipeline.Sim.runCursor
 //bplint:hotpath fused timing drive loop; TestFusedTimingAllocs pins allocs/op to zero
 func (f *fusedRun) driveCursor(cur *trace.Cursor) {
 	for f.insts < f.maxInsts {
@@ -421,6 +430,8 @@ func (f *fusedRun) driveCursor(cur *trace.Cursor) {
 }
 
 // driveInstSource is the fused drive loop over any batch-capable source.
+//
+//bplint:twin pipeline.Sim.runInstSource
 func (f *fusedRun) driveInstSource(is trace.InstSource) {
 	for f.insts < f.maxInsts {
 		lim := len(f.batch)
@@ -460,6 +471,7 @@ func (f *fusedRun) driveSource(src trace.Source) {
 // a batch split so the step loop takes a constant measured flag, and sweeps
 // the lanes.
 //
+//bplint:twin pipeline.Sim.step
 //bplint:hotpath runs once per 256-instruction batch in fused sweeps
 func (f *fusedRun) runBatch(n int) {
 	f.prep(n)
@@ -486,6 +498,7 @@ func (f *fusedRun) runBatch(n int) {
 // its port and latency classes, and — when a sidecar covers the run — its
 // unpacked fetch and mem outcome classes plus the shared D-side tallies.
 //
+//bplint:twin pipeline.Sim.step
 //bplint:hotpath runs once per 256-instruction batch in fused sweeps
 func (f *fusedRun) prep(n int) {
 	for i := 0; i < n; i++ {
@@ -506,14 +519,16 @@ func (f *fusedRun) prep(n int) {
 			pc = portMem
 			if f.sideActive {
 				// Mirror loadLatency's switch: L1 and L2 explicit,
-				// anything else charged as memory.
+				// memory charged for the rest.
 				switch f.mcls[i] {
 				case sideMemL1:
 					lc = latLoadL1
 				case sideMemL2:
 					lc = latLoadL2
-				default:
+				case sideMemMem:
 					lc = latLoadMem
+				default: // sideMemNone: loads always carry a mem class
+					panic("pipeline: load with no sidecar mem class")
 				}
 				f.lT[f.mcls[i]]++
 			} else {
@@ -528,8 +543,10 @@ func (f *fusedRun) prep(n int) {
 			pc, lc = portMul, latMul
 		case trace.FPU:
 			pc, lc = portFP, latFP
-		default: // ALU, CondBranch, Jump
+		case trace.ALU, trace.CondBranch, trace.Jump:
 			pc, lc = portInt, latOne
+		default:
+			panic("pipeline: unhandled instruction kind")
 		}
 		f.pcls[i] = pc
 		f.lcls[i] = lc
@@ -538,6 +555,9 @@ func (f *fusedRun) prep(n int) {
 
 // advanceTo is Sim.advanceFetch on stepAll's hoisted locals: move the
 // fetch point to at least cycle t, accounting the skipped cycles as stall.
+//
+//bplint:twin pipeline.Sim.advanceFetch
+//bplint:twinmap stall=fetchstall lastblock=lastfetchblock
 func advanceTo(t, fetchCycle uint64, fetchUsed int, lastBlock, stall uint64) (uint64, int, uint64, uint64) {
 	if t > fetchCycle {
 		stall += t - fetchCycle
@@ -560,6 +580,8 @@ func advanceTo(t, fetchCycle uint64, fetchUsed int, lastBlock, stall uint64) (ui
 // per-branch warm-up comparison over this sub-batch; runBatch splits
 // batches so it never varies inside one call.
 //
+//bplint:twin pipeline.Sim.step
+//bplint:twinmap fetchat=fetchcycle lastblock=lastfetchblock btbmisspenalty=btbpenalty regready=reg lattab=execlat advancefetch=advanceto
 //bplint:hotpath fused per-lane batch step; runs once per instruction per lane
 func (f *fusedRun) stepAll(lo, hi int, measured bool) {
 	for i := lo; i < hi; i++ {
@@ -568,8 +590,10 @@ func (f *fusedRun) stepAll(lo, hi int, measured bool) {
 			f.sweepBranch(i, measured)
 		case trace.Jump:
 			f.sweepJump(i)
-		default:
+		case trace.ALU, trace.Mul, trace.FPU, trace.Load, trace.Store:
 			f.sweepPlain(i)
+		default:
+			panic("pipeline: unhandled instruction kind")
 		}
 	}
 }
@@ -579,6 +603,7 @@ func (f *fusedRun) stepAll(lo, hi int, measured bool) {
 // prediction, redirect, and resolution stages are absent rather than
 // tested per lane.
 //
+//bplint:twin pipeline.Sim.step
 //bplint:hotpath fused lane sweep for plain instructions
 func (f *fusedRun) sweepPlain(i int) {
 	consts := f.consts
@@ -721,6 +746,7 @@ func (f *fusedRun) sweepPlain(i int) {
 // always-taken BTB redirect, issue, commit. No prediction and no
 // resolution — jumps never mispredict direction.
 //
+//bplint:twin pipeline.Sim.step
 //bplint:hotpath fused lane sweep for jumps
 func (f *fusedRun) sweepJump(i int) {
 	consts := f.consts
@@ -866,6 +892,7 @@ func (f *fusedRun) sweepJump(i int) {
 // prediction (with override bubbles), the predicted-taken BTB redirect,
 // issue, resolution, commit.
 //
+//bplint:twin pipeline.Sim.step
 //bplint:hotpath fused lane sweep for conditional branches
 func (f *fusedRun) sweepBranch(i int, measured bool) {
 	consts := f.consts

@@ -31,18 +31,26 @@ const (
 	sideFetchMask  = 0x03 << sideFetchShift
 	sideMemShift   = 2
 	sideMemMask    = 0x03 << sideMemShift
+)
 
-	// Fetch classes. sideFetchNone marks an instruction in the same
-	// I-cache block as its predecessor: the live model accesses the
-	// cache for it only after a redirect cleared the fetch state, and
-	// that access is a guaranteed hit (see BuildMemSidecar).
+// Fetch classes. sideFetchNone marks an instruction in the same
+// I-cache block as its predecessor: the live model accesses the
+// cache for it only after a redirect cleared the fetch state, and
+// that access is a guaranteed hit (see BuildMemSidecar).
+//
+//bplint:enum sideFetchClass
+const (
 	sideFetchNone = 0
 	sideFetchL1   = 1 // new block, L1I hit
 	sideFetchL2   = 2 // new block, L1I miss, L2 hit
 	sideFetchMem  = 3 // new block, both miss
+)
 
-	// Mem classes. Stores use only sideMemL1/sideMemMem: a store miss
-	// allocates the L1D line without an L2 access (store-queue retire).
+// Mem classes. Stores use only sideMemL1/sideMemMem: a store miss
+// allocates the L1D line without an L2 access (store-queue retire).
+//
+//bplint:enum sideMemClass
+const (
 	sideMemNone = 0
 	sideMemL1   = 1 // L1D hit
 	sideMemL2   = 2 // load: L1D miss, L2 hit
@@ -154,6 +162,10 @@ func BuildMemSidecar(rec *trace.Recording, geom MemGeometry) *MemSidecar {
 				} else {
 					cls |= sideMemMem << sideMemShift
 				}
+			case trace.ALU, trace.Mul, trace.FPU, trace.CondBranch, trace.Jump:
+				// No memory access: the mem field stays sideMemNone.
+			default:
+				panic("pipeline: unhandled instruction kind")
 			}
 			m.class = append(m.class, cls)
 		}

@@ -21,6 +21,8 @@ import (
 // are not simulated; their cost appears as the redirect bubble between a
 // mispredicted branch's resolution and the arrival of correct-path
 // instructions, the same accounting the paper's modified SimpleScalar uses.
+//
+//bplint:lanecheck
 type Sim struct {
 	cfg  Config
 	pred predictor.Predictor
@@ -204,11 +206,13 @@ func (s *Sim) fetchLatency(pc uint64) uint64 {
 		s.sideL1IMiss++
 		s.sideL2Acc++
 		return uint64(s.cfg.L2Latency)
-	default: // sideFetchMem
+	case sideFetchMem << sideFetchShift:
 		s.sideL1IMiss++
 		s.sideL2Acc++
 		s.sideL2Miss++
 		return uint64(s.cfg.MemLatency)
+	default:
+		panic("pipeline: sidecar fetch class out of range")
 	}
 }
 
@@ -225,11 +229,13 @@ func (s *Sim) loadLatency(addr uint64) uint64 {
 		s.sideL1DMiss++
 		s.sideL2Acc++
 		return uint64(s.cfg.L2Latency)
-	default: // sideMemMem
+	case sideMemMem << sideMemShift:
 		s.sideL1DMiss++
 		s.sideL2Acc++
 		s.sideL2Miss++
 		return uint64(s.cfg.MemLatency)
+	default: // sideMemNone: loadLatency is only called for loads, which always carry a mem class
+		panic("pipeline: load with no sidecar mem class")
 	}
 }
 
@@ -268,6 +274,8 @@ func (s *Sim) breakFetch() {
 // runState is the per-Run loop context shared by the three drive loops:
 // the budget and warm-up boundaries, the derived fetch constants, and the
 // commit cycle observed at the warm-up boundary.
+//
+//bplint:lanecheck
 type runState struct {
 	maxInsts    int64
 	warmupInsts int64
@@ -336,6 +344,7 @@ func (s *Sim) runCursor(cur *trace.Cursor, rs *runState) {
 			return
 		}
 		for i := 0; i < n; i++ {
+			//bplint:twinskip fused hands the whole batch to runBatch's lane sweep instead of stepping singly
 			s.step(&batch[i], rs)
 		}
 	}
@@ -343,6 +352,7 @@ func (s *Sim) runCursor(cur *trace.Cursor, rs *runState) {
 
 // runInstSource is the batched loop over any InstSource.
 func (s *Sim) runInstSource(is trace.InstSource, rs *runState) {
+	//bplint:twinskip fused fills its own batch column array; no per-call buffer
 	batch := make([]trace.Inst, trace.InstBatchLen)
 	for s.insts < rs.maxInsts {
 		lim := len(batch)
@@ -354,6 +364,7 @@ func (s *Sim) runInstSource(is trace.InstSource, rs *runState) {
 			return
 		}
 		for i := 0; i < n; i++ {
+			//bplint:twinskip fused hands the whole batch to runBatch's lane sweep instead of stepping singly
 			s.step(&batch[i], rs)
 		}
 	}
@@ -369,6 +380,7 @@ func (s *Sim) step(inst *trace.Inst, rs *runState) {
 	if s.insts == rs.warmupInsts {
 		rs.warmupCycle = s.lastCommit
 	}
+	//bplint:twinskip fused counts whole batches once in runBatch, not per instruction
 	s.insts++
 
 	// --- Fetch ---
@@ -383,6 +395,7 @@ func (s *Sim) step(inst *trace.Inst, rs *runState) {
 			// needs no recomputation after the fetch break.
 			s.breakFetch()
 		}
+		//bplint:twinskip fused splits this probe by sidecar flag: class table lookup or live per-lane caches
 		if lat := s.fetchLatency(inst.PC); lat > 0 {
 			s.advanceFetch(s.fetchCycle + lat)
 		}
@@ -407,6 +420,7 @@ func (s *Sim) step(inst *trace.Inst, rs *runState) {
 
 	// --- Branch prediction at fetch ---
 	var predictedTaken bool
+	//bplint:twinskip fused hoists the kind test into stepAll's per-instruction sweep dispatch
 	isBranch := inst.Kind == trace.CondBranch
 	if isBranch {
 		if s.cycleAware != nil {
@@ -458,29 +472,43 @@ func (s *Sim) step(inst *trace.Inst, rs *runState) {
 	var execLat uint64
 	switch inst.Kind {
 	case trace.Load:
+		//bplint:twinskip fused precomputes port and latency classes into prep's shared pcls/lcls columns
 		port, execLat = &s.memRing, s.loadLatency(inst.Addr)
 	case trace.Store:
+		//bplint:twinskip fused precomputes port and latency classes into prep's shared pcls/lcls columns
 		port, execLat = &s.memRing, 1
 		// Stores retire from the store queue; the D-cache
 		// line is still allocated for subsequent loads.
+		//bplint:twinskip fused splits this by sidecar flag: prep tallies the class or the sweep probes live caches
 		s.storeAccess(inst.Addr)
 	case trace.Mul:
+		//bplint:twinskip fused precomputes port and latency classes into prep's shared pcls/lcls columns
 		port, execLat = &s.mulRing, uint64(s.cfg.MulLatency)
 	case trace.FPU:
+		//bplint:twinskip fused precomputes port and latency classes into prep's shared pcls/lcls columns
 		port, execLat = &s.fpRing, uint64(s.cfg.FPLatency)
-	default: // ALU, CondBranch, Jump
+	case trace.ALU, trace.CondBranch, trace.Jump:
+		//bplint:twinskip fused precomputes port and latency classes into prep's shared pcls/lcls columns
 		port, execLat = &s.intRing, 1
+	default:
+		panic("pipeline: unhandled instruction kind")
 	}
+	//bplint:twinskip fused collapses the probe-then-reserve protocol into one byteRing takeInBoth call
 	issueAt := ready
 	for {
+		//bplint:twinskip fused collapses the probe-then-reserve protocol into one byteRing takeInBoth call
 		t := s.issueRing.peekFree(issueAt)
+		//bplint:twinskip fused collapses the probe-then-reserve protocol into one byteRing takeInBoth call
 		t = port.peekFree(t)
 		if t == issueAt {
 			break
 		}
+		//bplint:twinskip fused collapses the probe-then-reserve protocol into one byteRing takeInBoth call
 		issueAt = t
 	}
+	//bplint:twinskip fused collapses the probe-then-reserve protocol into one byteRing takeInBoth call
 	s.issueRing.take(issueAt)
+	//bplint:twinskip fused collapses the probe-then-reserve protocol into one byteRing takeInBoth call
 	port.take(issueAt)
 	completeAt := issueAt + execLat
 
@@ -507,14 +535,19 @@ func (s *Sim) step(inst *trace.Inst, rs *runState) {
 	// --- Commit ---
 	commitAt := completeAt + 1
 	if commitAt < s.lastCommit {
+		//bplint:twinskip fused degenerates the monotone commit ring to the (lastCommit, commitUsed) scalar pair
 		commitAt = s.lastCommit // in-order commit
 	}
+	//bplint:twinskip fused degenerates the monotone commit ring to the (lastCommit, commitUsed) scalar pair
 	commitAt = s.commitRing2.take(commitAt)
 	if commitAt > s.lastCommit {
 		s.lastCommit = commitAt
 	}
+	//bplint:twinskip fused stores the clamped lastCommit, identical to commitAt after the ring take
 	s.commitRing[s.robIdx] = commitAt
+	//bplint:twinskip fused wraps the ROB cursor with a compare instead of an integer division
 	s.robIdx = (s.robIdx + 1) % s.cfg.ROBSize
 
+	//bplint:twinskip fused indexes sidecar classes by batch offset in prep, no per-instruction cursor
 	s.sideIdx++
 }

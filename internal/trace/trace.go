@@ -10,6 +10,8 @@ type Kind uint8
 // Instruction kinds. The synthetic ISA is deliberately small: enough
 // structure for an out-of-order core's timing to be realistic (dependencies,
 // memory, multi-cycle ops, control flow) and nothing more.
+//
+//bplint:enum Kind
 const (
 	// ALU is a single-cycle integer operation.
 	ALU Kind = iota

@@ -19,11 +19,14 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> bplint ./... (all fifteen analyzers, concurrency suite included)"
+echo "==> bplint ./... (all nineteen analyzers, concurrency + twin certification included)"
 go run ./cmd/bplint ./...
 
 echo "==> bplint allow audit (every waiver carries a justification)"
 go run ./cmd/bplint -allows
+
+echo "==> seeded-drift regression (edited scalar statement must yield exactly one twinsync finding)"
+go test -run 'TestSeededDrift' ./internal/analysis
 
 echo "==> BPTRACE1 codec fuzz smoke (10s round-trip/fixed-point search)"
 go test -run '^$' -fuzz FuzzCodecRoundTrip -fuzztime=10s ./internal/trace
